@@ -1,0 +1,145 @@
+//! Segment-PP: the lightweight 3D-filter cascade baseline model.
+//!
+//! Segment-PP "uses a lightweight 3D-CNN filter on all non-overlapping
+//! segments in the video to quickly eliminate segments that do not satisfy
+//! the query predicate. The R3D model then processes the filtered segments"
+//! (§6.1). The filter is cheap (see `zeus-sim::CostModel::light3d_invocation`)
+//! but weak: it "cannot capture the inherent complexity of actions" —
+//! F1 as low as 0.2 on hard classes, decent on "the easier LeftTurn class"
+//! (§6.2). We model the filter's error rates as functions of the class's
+//! scene complexity.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use zeus_video::scene::mix2;
+use zeus_video::{ActionClass, Video};
+
+use crate::traits::{union_traits, QueryTraits};
+
+/// The lightweight 3D filter stage of the Segment-PP cascade.
+#[derive(Debug, Clone)]
+pub struct SegmentPpFilter {
+    classes: Vec<ActionClass>,
+    traits: QueryTraits,
+    seed: u64,
+    /// Domain shift for §6.6 (0 in-domain).
+    pub domain_shift: f64,
+}
+
+impl SegmentPpFilter {
+    /// Build a filter for a query over `classes`.
+    pub fn new(classes: Vec<ActionClass>, seed: u64) -> Self {
+        assert!(!classes.is_empty(), "need at least one target class");
+        let traits = union_traits(&classes);
+        SegmentPpFilter {
+            classes,
+            traits,
+            seed,
+            domain_shift: 0.0,
+        }
+    }
+
+    /// Apply a domain shift (§6.6).
+    pub fn with_domain_shift(mut self, shift: f64) -> Self {
+        assert!((0.0..=1.0).contains(&shift));
+        self.domain_shift = shift;
+        self
+    }
+
+    /// The query's difficulty traits.
+    pub fn traits(&self) -> QueryTraits {
+        self.traits
+    }
+
+    /// Probability the filter passes a segment that truly contains action
+    /// frames. Falls sharply with scene complexity: LeftTurn (κ=0.35)
+    /// keeps ~0.76, PoleVault (κ=0.85) only ~0.48.
+    pub fn pass_rate_positive(&self) -> f64 {
+        let base = 0.95 - 0.55 * self.traits.scene_complexity;
+        (base * (1.0 - 1.5 * self.domain_shift)).clamp(0.05, 1.0)
+    }
+
+    /// Probability the filter passes a segment with no action (wasted R3D
+    /// work + potential downstream false positives).
+    pub fn pass_rate_negative(&self) -> f64 {
+        ((0.05 + 0.28 * self.traits.scene_complexity) * (1.0 + 2.0 * self.domain_shift))
+            .clamp(0.0, 0.9)
+    }
+
+    /// Filter decision for the segment `[start, start + len)`. `true`
+    /// means the segment survives to the full R3D stage. Deterministic in
+    /// `(seed, video, start)`.
+    pub fn passes(&self, video: &Video, start: usize, len: usize) -> bool {
+        let end = (start + len).min(video.num_frames);
+        let positive = video.any_action_in(&self.classes, start, end);
+        let p = if positive {
+            self.pass_rate_positive()
+        } else {
+            self.pass_rate_negative()
+        };
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(mix2(self.seed, mix2(video.seed, start as u64)));
+        rng.gen::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_video::{ActionInterval, VideoId};
+
+    fn video() -> Video {
+        Video {
+            id: VideoId(0),
+            num_frames: 1000,
+            fps: 30.0,
+            seed: 11,
+            intervals: vec![ActionInterval::new(200, 400, ActionClass::PoleVault)],
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let f = SegmentPpFilter::new(vec![ActionClass::PoleVault], 7);
+        let v = video();
+        assert_eq!(f.passes(&v, 200, 16), f.passes(&v, 200, 16));
+    }
+
+    #[test]
+    fn easy_class_filters_well_hard_class_poorly() {
+        let easy = SegmentPpFilter::new(vec![ActionClass::LeftTurn], 7);
+        let hard = SegmentPpFilter::new(vec![ActionClass::PoleVault], 7);
+        assert!(easy.pass_rate_positive() > hard.pass_rate_positive());
+        assert!(easy.pass_rate_negative() < hard.pass_rate_negative());
+        // LeftTurn keeps most true segments — the §6.2 "better accuracy on
+        // the easier LeftTurn class".
+        assert!(easy.pass_rate_positive() > 0.7);
+        // PoleVault misses half — the F1-0.2..0.6 regime.
+        assert!(hard.pass_rate_positive() < 0.55);
+    }
+
+    #[test]
+    fn empirical_rates_match_model() {
+        let f = SegmentPpFilter::new(vec![ActionClass::PoleVault], 9);
+        let v = video();
+        let pos_pass = (200..400)
+            .step_by(16)
+            .filter(|&s| f.passes(&v, s, 16))
+            .count() as f64
+            / 13.0;
+        assert!(
+            (pos_pass - f.pass_rate_positive()).abs() < 0.3,
+            "empirical {pos_pass} vs model {}",
+            f.pass_rate_positive()
+        );
+    }
+
+    #[test]
+    fn domain_shift_degrades() {
+        let base = SegmentPpFilter::new(vec![ActionClass::LeftTurn], 7);
+        let shifted = base.clone().with_domain_shift(0.08);
+        assert!(shifted.pass_rate_positive() < base.pass_rate_positive());
+        assert!(shifted.pass_rate_negative() > base.pass_rate_negative());
+    }
+}

@@ -1,0 +1,177 @@
+//! Criterion micro/meso benchmarks for the components behind each table
+//! and figure. The `reproduce` binary regenerates the tables themselves
+//! (they need full planning runs); these benches track the wall-clock cost
+//! of the moving parts so regressions in the reproduction pipeline are
+//! caught:
+//!
+//! * `table2/*` — configuration profiling (one Zeus-Sliding pass).
+//! * `table3/*` — corpus generation + statistics.
+//! * `fig8/*` — one video through each of the five §6.1 engines.
+//! * `table6/*` — DQN update step and APFG invocation (training costs).
+//! * `metrics/*` — windowed (§2.1) and event-level evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use zeus_apfg::{Configuration, FeatureGenerator, SimulatedApfg};
+use zeus_core::baselines::QueryEngine;
+use zeus_core::metrics::{evaluate_events, evaluate_frames, EvalProtocol};
+use zeus_core::planner::{PlannerOptions, QueryPlanner};
+use zeus_core::query::ActionQuery;
+use zeus_core::result::ConfigHistogram;
+use zeus_core::ConfigSpace;
+use zeus_rl::agent::{DqnAgent, DqnConfig};
+use zeus_rl::{Experience, ReplayBuffer};
+use zeus_sim::{CostModel, SimClock};
+use zeus_video::stats::DatasetStats;
+use zeus_video::{ActionClass, DatasetKind};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn bench_table2_profiling(c: &mut Criterion) {
+    let ds = DatasetKind::Bdd100k.generate(0.04, 5);
+    let apfg = SimulatedApfg::new(vec![ActionClass::CrossRight], 300, 8, 8, 5);
+    let cost = CostModel::default();
+    let videos: Vec<&zeus_video::Video> = ds.store.videos().iter().collect();
+
+    let mut group = c.benchmark_group("table2");
+    for (r, l, s) in [(150usize, 4usize, 8usize), (300, 6, 1)] {
+        group.bench_function(format!("profile_({r},{l},{s})"), |b| {
+            let engine = zeus_core::baselines::ZeusSliding::new(
+                apfg.clone(),
+                Configuration::new(r, l, s),
+                cost.clone(),
+            );
+            b.iter(|| black_box(engine.execute(&videos).throughput()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table3_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.bench_function("generate_bdd_0.05", |b| {
+        b.iter(|| black_box(DatasetKind::Bdd100k.generate(0.05, 7).store.total_frames()))
+    });
+    group.bench_function("stats_bdd_0.05", |b| {
+        let ds = DatasetKind::Bdd100k.generate(0.05, 7);
+        b.iter(|| {
+            black_box(DatasetStats::compute(
+                &ds.store,
+                &DatasetKind::Bdd100k.query_classes(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig8_executors(c: &mut Criterion) {
+    // One shared (cheap) plan drives all five engines.
+    let ds = DatasetKind::Bdd100k.generate(0.1, 3);
+    let mut options = PlannerOptions::default();
+    options.trainer.episodes = 2;
+    options.trainer.warmup = 64;
+    options.candidates.truncate(1);
+    let planner = QueryPlanner::new(&ds, options);
+    let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85));
+    let engines = planner.build_engines(&plan);
+    let video = ds.store.videos()[0].clone();
+
+    let mut group = c.benchmark_group("fig8");
+    let run = |b: &mut criterion::Bencher, engine: &dyn QueryEngine| {
+        b.iter_batched(
+            || (SimClock::new(), ConfigHistogram::new()),
+            |(mut clock, mut hist)| {
+                black_box(engine.execute_video(&video, &mut clock, &mut hist))
+            },
+            BatchSize::SmallInput,
+        )
+    };
+    group.bench_function("frame_pp_video", |b| run(b, &engines.frame_pp));
+    group.bench_function("segment_pp_video", |b| run(b, &engines.segment_pp));
+    group.bench_function("sliding_video", |b| run(b, &engines.sliding));
+    group.bench_function("heuristic_video", |b| run(b, &engines.heuristic));
+    group.bench_function("zeus_rl_video", |b| run(b, &engines.zeus_rl));
+    group.finish();
+}
+
+fn bench_table6_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6");
+
+    group.bench_function("dqn_update_batch128", |b| {
+        let mut agent = DqnAgent::new(zeus_apfg::FEATURE_DIM, 8, DqnConfig::default(), 1);
+        let mut replay = ReplayBuffer::new(4096);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for i in 0..1024 {
+            replay.push(Experience {
+                state: vec![(i % 17) as f32 / 17.0; zeus_apfg::FEATURE_DIM],
+                action: i % 8,
+                reward: ((i % 5) as f32 - 2.0) / 2.0,
+                next_state: vec![(i % 13) as f32 / 13.0; zeus_apfg::FEATURE_DIM],
+                done: i % 50 == 0,
+            });
+        }
+        b.iter(|| {
+            let batch = replay.sample(128, &mut rng);
+            black_box(agent.update(&batch))
+        })
+    });
+
+    group.bench_function("apfg_invocation", |b| {
+        let ds = DatasetKind::Bdd100k.generate(0.02, 9);
+        let video = ds.store.videos()[0].clone();
+        let apfg = SimulatedApfg::new(vec![ActionClass::CrossRight], 300, 8, 8, 9);
+        let config = Configuration::new(300, 8, 1);
+        let mut start = 0usize;
+        b.iter(|| {
+            let out = apfg.process(&video, start % (video.num_frames - 64), config);
+            start += 17;
+            black_box(out.prediction)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    // 100K frames of pseudo-random labels.
+    let gt: Vec<bool> = (0..100_000).map(|i| (i / 97) % 11 == 0).collect();
+    let pred: Vec<bool> = (0..100_000).map(|i| (i / 89) % 11 == 0).collect();
+    group.bench_function("windowed_100k_frames", |b| {
+        let protocol = EvalProtocol::new(16);
+        b.iter(|| black_box(evaluate_frames(protocol, &gt, &pred).f1()))
+    });
+    group.bench_function("event_100k_frames", |b| {
+        b.iter(|| black_box(evaluate_events(&gt, &pred, 0.5).f1()))
+    });
+    group.finish();
+}
+
+fn bench_fig9_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    let agent = DqnAgent::new(zeus_apfg::FEATURE_DIM, 8, DqnConfig::default(), 4);
+    let policy = agent.policy();
+    let state = vec![0.3f32; zeus_apfg::FEATURE_DIM];
+    group.bench_function("policy_act", |b| b.iter(|| black_box(policy.act(&state))));
+
+    let space = ConfigSpace::for_dataset(DatasetKind::Bdd100k);
+    let cost = CostModel::default();
+    group.bench_function("alphas_64_configs", |b| {
+        b.iter(|| black_box(space.alphas(&cost)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_table2_profiling,
+        bench_table3_generation,
+        bench_fig8_executors,
+        bench_table6_training,
+        bench_metrics,
+        bench_fig9_policy
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Regenerate every table and figure of the Zeus paper's evaluation (§6).
+//!
+//! ```text
+//! cargo run -p zeus-bench --release --bin reproduce            # full suite
+//! cargo run -p zeus-bench --release --bin reproduce -- fast    # core subset
+//! cargo run -p zeus-bench --release --bin reproduce -- fig8    # one experiment
+//! ```
+//!
+//! Output is deterministic for a fixed build (all randomness is seeded and
+//! time is simulated). Expect ~5–15 minutes for the full suite.
+
+use std::io::Write;
+
+use zeus_bench::experiments;
+use zeus_bench::harness::DEFAULT_SCALE;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filter = args.first().map(String::as_str);
+
+    let t0 = std::time::Instant::now();
+    println!(
+        "Zeus reproduction harness — corpus scale {DEFAULT_SCALE}, deterministic seeds.\n\
+         Shapes (who wins, by what factor) are the comparison target, not absolute numbers."
+    );
+
+    let outputs = match filter {
+        Some("fast") => experiments::run_all(true),
+        Some(id) if id != "all" => {
+            // Single-experiment mode: run the full suite lazily would be
+            // wasteful; dispatch the cheap standalone ones directly.
+            match id {
+                "table1" => vec![experiments::table1()],
+                "table3" => vec![experiments::table3(DEFAULT_SCALE)],
+                "fig10" => vec![experiments::fig10(&[
+                    (
+                        zeus_video::DatasetKind::Bdd100k,
+                        zeus_video::ActionClass::CrossRight,
+                        0.85,
+                    ),
+                    (
+                        zeus_video::DatasetKind::Bdd100k,
+                        zeus_video::ActionClass::LeftTurn,
+                        0.85,
+                    ),
+                ])],
+                "fig11" => vec![experiments::fig11()],
+                "fig14" => vec![experiments::fig14()],
+                "ablation-reward" => vec![experiments::ablation_reward()],
+                "ablation-reuse" => vec![experiments::ablation_reuse()],
+                "ablation-window" => vec![experiments::ablation_window()],
+                other => {
+                    // Everything else needs the shared contexts; run the
+                    // full suite and filter.
+                    experiments::run_all(false)
+                        .into_iter()
+                        .filter(|o| o.id == other)
+                        .collect()
+                }
+            }
+        }
+        _ => experiments::run_all(false),
+    };
+
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for out in &outputs {
+        writeln!(lock, "{}", out.text).expect("stdout");
+    }
+    writeln!(
+        lock,
+        "\n{} experiment blocks in {:.1?}.",
+        outputs.len(),
+        t0.elapsed()
+    )
+    .expect("stdout");
+}

@@ -1,0 +1,51 @@
+//! Plain-text table rendering for the reproduce binary.
+
+/// Render a table with a header row and aligned columns.
+pub fn render(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let s = render(
+            "Demo",
+            &["a", "long-header"],
+            &[vec!["x".into(), "1".into()], vec!["yy".into(), "2".into()]],
+        );
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("long-header"));
+        let lines: Vec<&str> = s.lines().filter(|l| !l.is_empty()).collect();
+        assert_eq!(lines.len(), 5);
+    }
+}

@@ -1,0 +1,39 @@
+//! # zeus-core
+//!
+//! The Zeus VDBMS: the paper's primary contribution.
+//!
+//! * [`query`] — the SQL-ish action-query language of §1.
+//! * [`config`] — Configuration spaces per dataset (Table 4) and the
+//!   fastness normalisation of §4.4.
+//! * [`planner`] — the query planner (§4): per-configuration cost
+//!   profiling (Table 2), static-configuration selection, RL training with
+//!   accuracy-aware aggregate rewards (Algorithms 1 & 2), and training-cost
+//!   accounting (Table 6).
+//! * [`env`] — the video-traversal MDP (§4.1).
+//! * [`baselines`] — the five §6.1 techniques: Frame-PP, Segment-PP,
+//!   Zeus-Sliding, Zeus-Heuristic, and Zeus-RL (the system).
+//! * [`metrics`] — the IoU-windowed segment F1 of §2.1.
+//! * [`result`] — execution results, configuration histograms
+//!   (Figures 12b/14), and evaluated query results.
+//! * [`parallel`] — the inter-video parallel executor extension sketched
+//!   in §6.4.
+
+
+#![warn(missing_docs)]
+pub mod baselines;
+pub mod catalog;
+pub mod config;
+pub mod env;
+pub mod metrics;
+pub mod parallel;
+pub mod planner;
+pub mod query;
+pub mod result;
+
+pub use baselines::{ExecutorKind, QueryEngine};
+pub use catalog::{PlanCatalog, StoredPlan};
+pub use config::{ConfigSpace, KnobMask};
+pub use metrics::{EvalProtocol, EvalReport};
+pub use planner::{ConfigProfile, EngineSet, PlannerOptions, QueryPlan, QueryPlanner, TrainingCosts};
+pub use query::{parse_query, ActionQuery, ParseError};
+pub use result::{ConfigHistogram, ExecutionResult, QueryResult};

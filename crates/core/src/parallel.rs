@@ -1,0 +1,183 @@
+//! Inter-video parallel execution — the §6.4 extension.
+//!
+//! "It is possible to extend Zeus-RL to support inter-video parallelism.
+//! Here, batching inputs across videos would allow better GPU utilization."
+//! This module executes a video set across `workers` simulated devices
+//! (each with its own clock) using real threads via `crossbeam`, and
+//! reports the *makespan* (the slowest device's elapsed time) — the
+//! quantity that determines wall-clock speedup from adding devices.
+
+use crossbeam::thread;
+use zeus_sim::SimClock;
+use zeus_video::Video;
+
+use crate::baselines::QueryEngine;
+use crate::result::{ConfigHistogram, ExecutionResult};
+
+/// Result of a parallel run: the merged predictions plus per-worker
+/// simulated clocks.
+#[derive(Debug, Clone)]
+pub struct ParallelResult {
+    /// Merged execution result. Its `clock` holds the *total* device-time
+    /// (sum over workers), as if run on one device.
+    pub merged: ExecutionResult,
+    /// Per-worker elapsed simulated seconds.
+    pub worker_secs: Vec<f64>,
+}
+
+impl ParallelResult {
+    /// The makespan: elapsed time of the busiest device.
+    pub fn makespan_secs(&self) -> f64 {
+        self.worker_secs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Effective throughput with `workers` devices (frames / makespan).
+    pub fn parallel_throughput(&self) -> f64 {
+        let frames = self.merged.total_frames() as f64;
+        let m = self.makespan_secs();
+        if m == 0.0 {
+            f64::INFINITY
+        } else {
+            frames / m
+        }
+    }
+
+    /// Speedup of the parallel run over single-device execution.
+    pub fn speedup(&self) -> f64 {
+        let total: f64 = self.worker_secs.iter().sum();
+        let m = self.makespan_secs();
+        if m == 0.0 {
+            1.0
+        } else {
+            total / m
+        }
+    }
+}
+
+/// Execute `videos` with `engine` across `workers` simulated devices.
+///
+/// Videos are assigned round-robin (longest-first would be better for
+/// balance; round-robin matches a streaming arrival order). Each worker
+/// thread runs its share with an independent clock; results merge
+/// deterministically by video id.
+pub fn execute_parallel<E>(engine: &E, videos: &[&Video], workers: usize) -> ParallelResult
+where
+    E: QueryEngine + Sync,
+{
+    assert!(workers > 0, "need at least one worker");
+    let shares: Vec<Vec<&Video>> = (0..workers)
+        .map(|w| {
+            videos
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % workers == w)
+                .map(|(_, v)| *v)
+                .collect()
+        })
+        .collect();
+
+    let outcomes: Vec<(ExecutionResult, f64)> = thread::scope(|s| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                s.spawn(move |_| {
+                    let mut clock = SimClock::new();
+                    let mut hist = ConfigHistogram::new();
+                    let mut labels = Vec::with_capacity(share.len());
+                    for v in share {
+                        let l = engine.execute_video(v, &mut clock, &mut hist);
+                        labels.push((v.id, l));
+                    }
+                    let secs = clock.elapsed_secs();
+                    (
+                        ExecutionResult {
+                            labels,
+                            clock,
+                            histogram: hist,
+                        },
+                        secs,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("thread scope failed");
+
+    let mut merged_labels = Vec::new();
+    let mut merged_clock = SimClock::new();
+    let mut merged_hist = ConfigHistogram::new();
+    let mut worker_secs = Vec::with_capacity(outcomes.len());
+    for (result, secs) in outcomes {
+        merged_labels.extend(result.labels);
+        merged_clock.merge(&result.clock);
+        merged_hist.merge(&result.histogram);
+        worker_secs.push(secs);
+    }
+    merged_labels.sort_by_key(|(id, _)| *id);
+
+    ParallelResult {
+        merged: ExecutionResult {
+            labels: merged_labels,
+            clock: merged_clock,
+            histogram: merged_hist,
+        },
+        worker_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_apfg::{Configuration, SimulatedApfg};
+    use zeus_sim::CostModel;
+    use zeus_video::{ActionClass, DatasetKind};
+
+    use crate::baselines::ZeusSliding;
+
+    fn engine() -> ZeusSliding {
+        ZeusSliding::new(
+            SimulatedApfg::new(vec![ActionClass::CrossRight], 300, 8, 8, 3),
+            Configuration::new(200, 4, 4),
+            CostModel::default(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_sequential_output() {
+        let ds = DatasetKind::Bdd100k.generate(0.04, 5);
+        let videos = ds.store.split(zeus_video::video::Split::Test);
+        let e = engine();
+        let seq = e.execute(&videos);
+        let par = execute_parallel(&e, &videos, 4);
+        // Same predictions regardless of parallelism (determinism).
+        let mut seq_labels = seq.labels.clone();
+        seq_labels.sort_by_key(|(id, _)| *id);
+        assert_eq!(seq_labels, par.merged.labels);
+        // Same total device-time.
+        assert!((seq.clock.elapsed_secs() - par.merged.clock.elapsed_secs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_grows_with_workers() {
+        let ds = DatasetKind::Bdd100k.generate(0.12, 5);
+        let videos: Vec<&zeus_video::Video> = ds.store.videos().iter().collect();
+        let e = engine();
+        let p2 = execute_parallel(&e, &videos, 2);
+        let p4 = execute_parallel(&e, &videos, 4);
+        assert!(p2.speedup() > 1.5, "2-worker speedup {}", p2.speedup());
+        assert!(p4.speedup() > p2.speedup(), "4 workers should beat 2");
+        assert!(p4.parallel_throughput() > p2.parallel_throughput());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let ds = DatasetKind::Bdd100k.generate(0.02, 5);
+        let videos = ds.store.split(zeus_video::video::Split::Test);
+        let _ = execute_parallel(&engine(), &videos, 0);
+    }
+}

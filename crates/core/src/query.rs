@@ -1,0 +1,259 @@
+//! The action-query language (§1).
+//!
+//! Zeus queries look like:
+//!
+//! ```sql
+//! SELECT segment_ids FROM UDF(video)
+//! WHERE action_class = 'left-turn' AND accuracy >= 80%
+//! ```
+//!
+//! Multi-class queries (§6.5) union classes:
+//!
+//! ```sql
+//! ... WHERE action_class IN ('cross-right', 'cross-left') AND accuracy >= 0.85
+//! ```
+
+use serde::{Deserialize, Serialize};
+use zeus_video::ActionClass;
+
+/// A parsed action-localization query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionQuery {
+    /// Target classes (one normally; several for §6.5 union queries).
+    pub classes: Vec<ActionClass>,
+    /// User-specified accuracy target α ∈ (0, 1).
+    pub target_accuracy: f64,
+}
+
+impl ActionQuery {
+    /// Build a single-class query.
+    pub fn new(class: ActionClass, target_accuracy: f64) -> Self {
+        Self::multi(vec![class], target_accuracy)
+    }
+
+    /// Build a multi-class (union) query.
+    pub fn multi(classes: Vec<ActionClass>, target_accuracy: f64) -> Self {
+        assert!(!classes.is_empty(), "query needs at least one class");
+        assert!(
+            (0.0..1.0).contains(&target_accuracy) && target_accuracy > 0.0,
+            "target accuracy must be in (0, 1): {target_accuracy}"
+        );
+        ActionQuery {
+            classes,
+            target_accuracy,
+        }
+    }
+
+    /// Render back to SQL-ish text.
+    pub fn to_sql(&self) -> String {
+        let class_pred = if self.classes.len() == 1 {
+            format!("action_class = '{}'", self.classes[0].query_name())
+        } else {
+            let list = self
+                .classes
+                .iter()
+                .map(|c| format!("'{}'", c.query_name()))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("action_class IN ({list})")
+        };
+        format!(
+            "SELECT segment_ids FROM UDF(video) WHERE {class_pred} AND accuracy >= {:.0}%",
+            self.target_accuracy * 100.0
+        )
+    }
+}
+
+/// Errors from [`parse_query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The query skeleton (SELECT ... FROM UDF(video) WHERE ...) is absent.
+    NotAnActionQuery(String),
+    /// `action_class` predicate missing or malformed.
+    MissingClass,
+    /// An action class name was not recognised.
+    UnknownClass(String),
+    /// `accuracy` predicate missing or malformed.
+    MissingAccuracy,
+    /// Accuracy outside (0, 1).
+    BadAccuracy(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::NotAnActionQuery(s) => write!(f, "not an action query: {s}"),
+            ParseError::MissingClass => write!(f, "missing action_class predicate"),
+            ParseError::UnknownClass(c) => write!(f, "unknown action class '{c}'"),
+            ParseError::MissingAccuracy => write!(f, "missing accuracy predicate"),
+            ParseError::BadAccuracy(a) => write!(f, "accuracy out of range: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse the SQL-ish action-query dialect of §1.
+///
+/// Accepted forms (case-insensitive keywords):
+/// * `action_class = 'left-turn'` or `action_class IN ('a', 'b')`
+/// * `accuracy >= 80%` or `accuracy >= 0.8`
+pub fn parse_query(sql: &str) -> Result<ActionQuery, ParseError> {
+    let lower = sql.to_ascii_lowercase();
+    if !(lower.contains("select") && lower.contains("udf") && lower.contains("where")) {
+        return Err(ParseError::NotAnActionQuery(sql.trim().to_string()));
+    }
+
+    // --- action_class predicate ---
+    let classes = if let Some(pos) = lower.find("action_class") {
+        let rest = &sql[pos + "action_class".len()..];
+        let rest_l = &lower[pos + "action_class".len()..];
+        if let Some(inpos) = rest_l.trim_start().strip_prefix("in") {
+            // IN ('a', 'b', ...)
+            let open = inpos.find('(').ok_or(ParseError::MissingClass)?;
+            let close = inpos[open..].find(')').ok_or(ParseError::MissingClass)? + open;
+            let inner = &inpos[open + 1..close];
+            let mut classes = Vec::new();
+            for part in inner.split(',') {
+                let name = part.trim().trim_matches('\'').trim_matches('"');
+                let class = ActionClass::from_query_name(name)
+                    .ok_or_else(|| ParseError::UnknownClass(name.to_string()))?;
+                classes.push(class);
+            }
+            if classes.is_empty() {
+                return Err(ParseError::MissingClass);
+            }
+            classes
+        } else {
+            // = 'name'
+            let eq = rest.find('=').ok_or(ParseError::MissingClass)?;
+            let after = rest[eq + 1..].trim_start();
+            let quote_end = after[1..]
+                .find(['\'', '"'])
+                .ok_or(ParseError::MissingClass)?;
+            let name = &after[1..1 + quote_end];
+            vec![ActionClass::from_query_name(name)
+                .ok_or_else(|| ParseError::UnknownClass(name.to_string()))?]
+        }
+    } else {
+        return Err(ParseError::MissingClass);
+    };
+
+    // --- accuracy predicate ---
+    let acc_pos = lower.find("accuracy").ok_or(ParseError::MissingAccuracy)?;
+    let after = &sql[acc_pos + "accuracy".len()..];
+    let after = after.trim_start();
+    let after = after
+        .strip_prefix(">=")
+        .or_else(|| after.strip_prefix('='))
+        .or_else(|| after.strip_prefix('>'))
+        .ok_or(ParseError::MissingAccuracy)?
+        .trim_start();
+    let num_end = after
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(after.len());
+    let num_str = &after[..num_end];
+    let mut value: f64 = num_str
+        .parse()
+        .map_err(|_| ParseError::BadAccuracy(num_str.to_string()))?;
+    if after[num_end..].trim_start().starts_with('%') || value > 1.0 {
+        value /= 100.0;
+    }
+    if !(value > 0.0 && value < 1.0) {
+        return Err(ParseError::BadAccuracy(format!("{value}")));
+    }
+
+    Ok(ActionQuery::multi(classes, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_example() {
+        // §1's example query (left turn at 80%).
+        let q = parse_query(
+            "SELECT segment_ids FROM UDF(video) \
+             WHERE action_class = 'left-turn' AND accuracy >= 80%",
+        )
+        .unwrap();
+        assert_eq!(q.classes, vec![ActionClass::LeftTurn]);
+        assert!((q.target_accuracy - 0.80).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_fractional_accuracy() {
+        let q = parse_query(
+            "SELECT segment_ids FROM UDF(video) \
+             WHERE action_class = 'pole-vault' AND accuracy >= 0.75",
+        )
+        .unwrap();
+        assert_eq!(q.classes, vec![ActionClass::PoleVault]);
+        assert!((q.target_accuracy - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_multi_class_in_list() {
+        let q = parse_query(
+            "SELECT segment_ids FROM UDF(video) \
+             WHERE action_class IN ('cross-right', 'cross-left') AND accuracy >= 85%",
+        )
+        .unwrap();
+        assert_eq!(
+            q.classes,
+            vec![ActionClass::CrossRight, ActionClass::CrossLeft]
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_to_sql() {
+        let q = ActionQuery::multi(
+            vec![ActionClass::CrossRight, ActionClass::LeftTurn],
+            0.85,
+        );
+        let parsed = parse_query(&q.to_sql()).unwrap();
+        assert_eq!(parsed, q);
+    }
+
+    #[test]
+    fn rejects_unknown_class() {
+        let err = parse_query(
+            "SELECT segment_ids FROM UDF(video) WHERE action_class = 'backflip' AND accuracy >= 80%",
+        )
+        .unwrap_err();
+        assert_eq!(err, ParseError::UnknownClass("backflip".to_string()));
+    }
+
+    #[test]
+    fn rejects_missing_pieces() {
+        assert!(matches!(
+            parse_query("SELECT * FROM t"),
+            Err(ParseError::NotAnActionQuery(_))
+        ));
+        assert!(matches!(
+            parse_query("SELECT segment_ids FROM UDF(video) WHERE accuracy >= 80%"),
+            Err(ParseError::MissingClass)
+        ));
+        assert!(matches!(
+            parse_query("SELECT segment_ids FROM UDF(video) WHERE action_class = 'left-turn'"),
+            Err(ParseError::MissingAccuracy)
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_range_accuracy() {
+        assert!(matches!(
+            parse_query(
+                "SELECT segment_ids FROM UDF(video) WHERE action_class = 'left-turn' AND accuracy >= 150%"
+            ),
+            Err(ParseError::BadAccuracy(_))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "target accuracy")]
+    fn constructor_validates() {
+        let _ = ActionQuery::new(ActionClass::LeftTurn, 1.5);
+    }
+}

@@ -1,0 +1,97 @@
+//! Activation functions with cached-mask backprop.
+
+use crate::tensor::Tensor;
+
+/// Supported activation kinds for MLP hidden layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit, `max(0, x)` — used by the Q-network and the
+    /// R3D blocks (the paper's networks are ReLU throughout).
+    Relu,
+    /// Leaky rectified linear unit with slope 0.1 for negative inputs —
+    /// avoids dead-unit collapse in small convolutional networks.
+    LeakyRelu,
+    /// Hyperbolic tangent, occasionally useful for bounded features.
+    Tanh,
+    /// Identity (no-op), used for output layers.
+    Identity,
+}
+
+impl Activation {
+    /// Apply the activation elementwise.
+    pub fn forward(&self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Relu => x.map(|v| if v > 0.0 { v } else { 0.0 }),
+            Activation::LeakyRelu => x.map(|v| if v > 0.0 { v } else { 0.1 * v }),
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Identity => x.clone(),
+        }
+    }
+
+    /// Gradient of the activation given its *input* `x` and upstream
+    /// gradient `grad_out`.
+    pub fn backward(&self, x: &Tensor, grad_out: &Tensor) -> Tensor {
+        assert_eq!(x.shape(), grad_out.shape(), "activation grad shape");
+        match self {
+            Activation::Relu => {
+                let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+                grad_out.mul(&mask)
+            }
+            Activation::LeakyRelu => {
+                let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.1 });
+                grad_out.mul(&mask)
+            }
+            Activation::Tanh => {
+                let d = x.map(|v| 1.0 - v.tanh() * v.tanh());
+                grad_out.mul(&d)
+            }
+            Activation::Identity => grad_out.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_forward_backward() {
+        let x = Tensor::vector(vec![-1.0, 0.0, 2.0]);
+        let y = Activation::Relu.forward(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0]);
+        let g = Activation::Relu.backward(&x, &Tensor::vector(vec![1.0, 1.0, 1.0]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn tanh_gradient_matches_numeric() {
+        let x = Tensor::vector(vec![0.3, -0.7]);
+        let ones = Tensor::vector(vec![1.0, 1.0]);
+        let g = Activation::Tanh.backward(&x, &ones);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            let xv = x.data()[i];
+            let numeric = ((xv + eps).tanh() - (xv - eps).tanh()) / (2.0 * eps);
+            assert!((g.data()[i] - numeric).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn leaky_relu_keeps_negative_gradient() {
+        let x = Tensor::vector(vec![-2.0, 3.0]);
+        let y = Activation::LeakyRelu.forward(&x);
+        assert!((y.data()[0] + 0.2).abs() < 1e-6);
+        assert_eq!(y.data()[1], 3.0);
+        let g = Activation::LeakyRelu.backward(&x, &Tensor::vector(vec![1.0, 1.0]));
+        assert!((g.data()[0] - 0.1).abs() < 1e-6);
+        assert_eq!(g.data()[1], 1.0);
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        let x = Tensor::vector(vec![1.0, -2.0]);
+        assert_eq!(Activation::Identity.forward(&x), x);
+        let g = Tensor::vector(vec![0.5, 0.5]);
+        assert_eq!(Activation::Identity.backward(&x, &g), g);
+    }
+}

@@ -1,0 +1,467 @@
+//! 3D convolution blocks for the real (small-scale) R3D path.
+//!
+//! The paper's APFG is an R3D network: stacked spatio-temporal 3D
+//! convolutions over `C x L x H x W` segments (§2, Figure 3). This module
+//! provides direct (un-vectorised) `Conv3d`, `MaxPool3d`, and
+//! `GlobalAvgPool3d` with full backprop, sized for the small `R3dLite`
+//! network used in examples and tests. Tensors are single-sample
+//! `[C, L, H, W]`; batching is done by the caller.
+
+use rand::Rng;
+
+use crate::init;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// Shape helper for `[C, L, H, W]` volumes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolumeShape {
+    /// Channels.
+    pub c: usize,
+    /// Temporal length (frames).
+    pub l: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+}
+
+impl VolumeShape {
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.c * self.l * self.h * self.w
+    }
+
+    /// True when any dimension is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// As a tensor shape slice.
+    pub fn dims(&self) -> [usize; 4] {
+        [self.c, self.l, self.h, self.w]
+    }
+}
+
+#[inline]
+fn vol_index(shape: &VolumeShape, c: usize, l: usize, h: usize, w: usize) -> usize {
+    ((c * shape.l + l) * shape.h + h) * shape.w + w
+}
+
+/// A 3D convolution layer with cubic kernels, stride, and zero padding.
+#[derive(Debug, Clone)]
+pub struct Conv3d {
+    /// Kernel weights, flattened `[out_c, in_c, k, k, k]`.
+    pub weight: Param,
+    /// Per-output-channel bias.
+    pub bias: Param,
+    in_c: usize,
+    out_c: usize,
+    k: usize,
+    stride: usize,
+    padding: usize,
+    cached_input: Option<(Tensor, VolumeShape)>,
+}
+
+impl Conv3d {
+    /// Create a conv layer with He-normal init (`fan_in = in_c * k^3`).
+    pub fn new(in_c: usize, out_c: usize, k: usize, stride: usize, padding: usize, rng: &mut impl Rng) -> Self {
+        assert!(k >= 1 && stride >= 1, "kernel and stride must be >= 1");
+        let fan_in = in_c * k * k * k;
+        let weight = Param::new(init::he_normal(fan_in, out_c * fan_in, rng));
+        let bias = Param::zeros(out_c);
+        Conv3d {
+            weight,
+            bias,
+            in_c,
+            out_c,
+            k,
+            stride,
+            padding,
+            cached_input: None,
+        }
+    }
+
+    /// Output volume shape for a given input shape.
+    pub fn output_shape(&self, input: &VolumeShape) -> VolumeShape {
+        let out_dim = |d: usize| (d + 2 * self.padding).saturating_sub(self.k) / self.stride + 1;
+        VolumeShape {
+            c: self.out_c,
+            l: out_dim(input.l),
+            h: out_dim(input.h),
+            w: out_dim(input.w),
+        }
+    }
+
+    #[inline]
+    fn widx(&self, oc: usize, ic: usize, kl: usize, kh: usize, kw: usize) -> usize {
+        (((oc * self.in_c + ic) * self.k + kl) * self.k + kh) * self.k + kw
+    }
+
+    /// Forward pass over a `[C, L, H, W]` volume (flattened tensor).
+    pub fn forward(&mut self, x: &Tensor, shape: VolumeShape) -> (Tensor, VolumeShape) {
+        assert_eq!(shape.c, self.in_c, "input channels mismatch");
+        assert_eq!(x.len(), shape.len(), "input length mismatch");
+        let out_shape = self.output_shape(&shape);
+        let mut out = vec![0.0f32; out_shape.len()];
+
+        let xs = x.data();
+        let ws = &self.weight.value;
+        let pad = self.padding as isize;
+        for oc in 0..out_shape.c {
+            let b = self.bias.value[oc];
+            for ol in 0..out_shape.l {
+                for oh in 0..out_shape.h {
+                    for ow in 0..out_shape.w {
+                        let mut acc = b;
+                        let base_l = (ol * self.stride) as isize - pad;
+                        let base_h = (oh * self.stride) as isize - pad;
+                        let base_w = (ow * self.stride) as isize - pad;
+                        for ic in 0..self.in_c {
+                            for kl in 0..self.k {
+                                let il = base_l + kl as isize;
+                                if il < 0 || il >= shape.l as isize {
+                                    continue;
+                                }
+                                for kh in 0..self.k {
+                                    let ih = base_h + kh as isize;
+                                    if ih < 0 || ih >= shape.h as isize {
+                                        continue;
+                                    }
+                                    for kw in 0..self.k {
+                                        let iw = base_w + kw as isize;
+                                        if iw < 0 || iw >= shape.w as isize {
+                                            continue;
+                                        }
+                                        let xv = xs[vol_index(&shape, ic, il as usize, ih as usize, iw as usize)];
+                                        let wv = ws[self.widx(oc, ic, kl, kh, kw)];
+                                        acc += xv * wv;
+                                    }
+                                }
+                            }
+                        }
+                        out[vol_index(&out_shape, oc, ol, oh, ow)] = acc;
+                    }
+                }
+            }
+        }
+        self.cached_input = Some((x.clone(), shape));
+        (Tensor::vector(out), out_shape)
+    }
+
+    /// Backward pass: accumulate weight/bias gradients and return `dX`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (x, shape) = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward")
+            .clone();
+        let out_shape = self.output_shape(&shape);
+        assert_eq!(grad_out.len(), out_shape.len(), "grad_out length mismatch");
+
+        let xs = x.data();
+        let gs = grad_out.data();
+        let mut dw = vec![0.0f32; self.weight.len()];
+        let mut db = vec![0.0f32; self.bias.len()];
+        let mut dx = vec![0.0f32; shape.len()];
+        let ws = &self.weight.value;
+        let pad = self.padding as isize;
+
+        for oc in 0..out_shape.c {
+            for ol in 0..out_shape.l {
+                for oh in 0..out_shape.h {
+                    for ow in 0..out_shape.w {
+                        let g = gs[vol_index(&out_shape, oc, ol, oh, ow)];
+                        if g == 0.0 {
+                            continue;
+                        }
+                        db[oc] += g;
+                        let base_l = (ol * self.stride) as isize - pad;
+                        let base_h = (oh * self.stride) as isize - pad;
+                        let base_w = (ow * self.stride) as isize - pad;
+                        for ic in 0..self.in_c {
+                            for kl in 0..self.k {
+                                let il = base_l + kl as isize;
+                                if il < 0 || il >= shape.l as isize {
+                                    continue;
+                                }
+                                for kh in 0..self.k {
+                                    let ih = base_h + kh as isize;
+                                    if ih < 0 || ih >= shape.h as isize {
+                                        continue;
+                                    }
+                                    for kw in 0..self.k {
+                                        let iw = base_w + kw as isize;
+                                        if iw < 0 || iw >= shape.w as isize {
+                                            continue;
+                                        }
+                                        let xi = vol_index(&shape, ic, il as usize, ih as usize, iw as usize);
+                                        let wi = self.widx(oc, ic, kl, kh, kw);
+                                        dw[wi] += g * xs[xi];
+                                        dx[xi] += g * ws[wi];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.weight.accumulate(&dw);
+        self.bias.accumulate(&db);
+        Tensor::vector(dx)
+    }
+
+    /// Mutable references to parameters (weight then bias).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// 3D max pooling with cubic windows (stride equals window size).
+#[derive(Debug, Clone)]
+pub struct MaxPool3d {
+    k: usize,
+    cached: Option<(VolumeShape, VolumeShape, Vec<usize>)>,
+}
+
+impl MaxPool3d {
+    /// Create a pooling layer with window/stride `k`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1);
+        MaxPool3d { k, cached: None }
+    }
+
+    /// Output shape for an input shape (floor division).
+    pub fn output_shape(&self, input: &VolumeShape) -> VolumeShape {
+        VolumeShape {
+            c: input.c,
+            l: (input.l / self.k).max(1),
+            h: (input.h / self.k).max(1),
+            w: (input.w / self.k).max(1),
+        }
+    }
+
+    /// Forward pass, recording argmax indices for backprop.
+    pub fn forward(&mut self, x: &Tensor, shape: VolumeShape) -> (Tensor, VolumeShape) {
+        let out_shape = self.output_shape(&shape);
+        let mut out = vec![f32::NEG_INFINITY; out_shape.len()];
+        let mut argmax = vec![0usize; out_shape.len()];
+        let xs = x.data();
+        for c in 0..shape.c {
+            for ol in 0..out_shape.l {
+                for oh in 0..out_shape.h {
+                    for ow in 0..out_shape.w {
+                        let oi = vol_index(&out_shape, c, ol, oh, ow);
+                        for kl in 0..self.k {
+                            let il = ol * self.k + kl;
+                            if il >= shape.l {
+                                continue;
+                            }
+                            for kh in 0..self.k {
+                                let ih = oh * self.k + kh;
+                                if ih >= shape.h {
+                                    continue;
+                                }
+                                for kw in 0..self.k {
+                                    let iw = ow * self.k + kw;
+                                    if iw >= shape.w {
+                                        continue;
+                                    }
+                                    let xi = vol_index(&shape, c, il, ih, iw);
+                                    if xs[xi] > out[oi] {
+                                        out[oi] = xs[xi];
+                                        argmax[oi] = xi;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cached = Some((shape, out_shape, argmax));
+        (Tensor::vector(out), out_shape)
+    }
+
+    /// Backward pass routing gradients to argmax positions.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (in_shape, out_shape, argmax) = self
+            .cached
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_out.len(), out_shape.len());
+        let mut dx = vec![0.0f32; in_shape.len()];
+        for (g, &src) in grad_out.data().iter().zip(argmax.iter()) {
+            dx[src] += g;
+        }
+        Tensor::vector(dx)
+    }
+}
+
+/// Global average pooling over `(L, H, W)` producing one value per channel
+/// — the "adaptive average pooling" head of R3D (Figure 3).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool3d {
+    cached_shape: Option<VolumeShape>,
+}
+
+impl GlobalAvgPool3d {
+    /// Create the pooling head.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass: `[C, L, H, W] -> [C]`.
+    pub fn forward(&mut self, x: &Tensor, shape: VolumeShape) -> Tensor {
+        assert_eq!(x.len(), shape.len());
+        let spatial = shape.l * shape.h * shape.w;
+        assert!(spatial > 0, "cannot pool an empty volume");
+        let mut out = vec![0.0f32; shape.c];
+        for (c, o) in out.iter_mut().enumerate() {
+            let start = c * spatial;
+            *o = x.data()[start..start + spatial].iter().sum::<f32>() / spatial as f32;
+        }
+        self.cached_shape = Some(shape);
+        Tensor::vector(out)
+    }
+
+    /// Backward pass: spread each channel gradient uniformly.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .cached_shape
+            .expect("backward called before forward");
+        let spatial = shape.l * shape.h * shape.w;
+        assert_eq!(grad_out.len(), shape.c);
+        let mut dx = vec![0.0f32; shape.len()];
+        for c in 0..shape.c {
+            let g = grad_out.data()[c] / spatial as f32;
+            for v in &mut dx[c * spatial..(c + 1) * spatial] {
+                *v = g;
+            }
+        }
+        Tensor::vector(dx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn shape(c: usize, l: usize, h: usize, w: usize) -> VolumeShape {
+        VolumeShape { c, l, h, w }
+    }
+
+    #[test]
+    fn conv_identity_kernel() {
+        // 1x1x1 kernel with weight 1 reproduces the input.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut conv = Conv3d::new(1, 1, 1, 1, 0, &mut rng);
+        conv.weight.value = vec![1.0];
+        conv.bias.value = vec![0.0];
+        let s = shape(1, 2, 2, 2);
+        let x = Tensor::vector((0..8).map(|v| v as f32).collect());
+        let (y, os) = conv.forward(&x, s);
+        assert_eq!(os, s);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv_output_shape_with_stride_and_padding() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let conv = Conv3d::new(3, 8, 3, 2, 1, &mut rng);
+        let os = conv.output_shape(&shape(3, 8, 16, 16));
+        assert_eq!(os, shape(8, 4, 8, 8));
+    }
+
+    #[test]
+    fn conv_hand_computed_sum_kernel() {
+        // 2x2x2 all-ones kernel over a 2x2x2 input = sum of all elements.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut conv = Conv3d::new(1, 1, 2, 1, 0, &mut rng);
+        conv.weight.value = vec![1.0; 8];
+        conv.bias.value = vec![0.5];
+        let x = Tensor::vector((1..=8).map(|v| v as f32).collect());
+        let (y, os) = conv.forward(&x, shape(1, 2, 2, 2));
+        assert_eq!(os, shape(1, 1, 1, 1));
+        assert_eq!(y.data(), &[36.5]);
+    }
+
+    #[test]
+    fn conv_numerical_gradient_check() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let mut conv = Conv3d::new(2, 2, 2, 1, 1, &mut rng);
+        let s = shape(2, 3, 3, 3);
+        let x = Tensor::vector((0..s.len()).map(|i| (i as f32 * 0.1).sin()).collect());
+
+        let (y, _) = conv.forward(&x, s);
+        let dy = Tensor::full(&[y.len()], 1.0);
+        let dx = conv.backward(&dy);
+        let w_grad = conv.weight.grad.clone();
+
+        let eps = 1e-2f32;
+        // Check a sample of weight gradients.
+        for i in (0..conv.weight.len()).step_by(7) {
+            let orig = conv.weight.value[i];
+            conv.weight.value[i] = orig + eps;
+            let (yu, _) = conv.forward(&x, s);
+            conv.weight.value[i] = orig - eps;
+            let (yd, _) = conv.forward(&x, s);
+            conv.weight.value[i] = orig;
+            let numeric = (yu.sum() - yd.sum()) / (2.0 * eps);
+            assert!(
+                (numeric - w_grad[i]).abs() < 0.05,
+                "weight {i}: numeric {numeric} vs analytic {}",
+                w_grad[i]
+            );
+        }
+        // Check a sample of input gradients.
+        for i in (0..s.len()).step_by(11) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let (yu, _) = conv.forward(&xp, s);
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let (yd, _) = conv.forward(&xm, s);
+            let numeric = (yu.sum() - yd.sum()) / (2.0 * eps);
+            assert!(
+                (numeric - dx.data()[i]).abs() < 0.05,
+                "input {i}: numeric {numeric} vs analytic {}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_routing() {
+        let mut pool = MaxPool3d::new(2);
+        let s = shape(1, 2, 2, 2);
+        let x = Tensor::vector(vec![1.0, 5.0, 2.0, 3.0, 0.0, -1.0, 4.0, 2.5]);
+        let (y, os) = pool.forward(&x, s);
+        assert_eq!(os, shape(1, 1, 1, 1));
+        assert_eq!(y.data(), &[5.0]);
+        let dx = pool.backward(&Tensor::vector(vec![2.0]));
+        assert_eq!(dx.data(), &[0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn global_avg_pool_roundtrip() {
+        let mut gap = GlobalAvgPool3d::new();
+        let s = shape(2, 1, 2, 2);
+        let x = Tensor::vector(vec![1.0, 2.0, 3.0, 4.0, 10.0, 10.0, 10.0, 10.0]);
+        let y = gap.forward(&x, s);
+        assert_eq!(y.data(), &[2.5, 10.0]);
+        let dx = gap.backward(&Tensor::vector(vec![4.0, 8.0]));
+        assert_eq!(dx.data(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn volume_shape_helpers() {
+        let s = shape(3, 4, 5, 6);
+        assert_eq!(s.len(), 360);
+        assert!(!s.is_empty());
+        assert_eq!(s.dims(), [3, 4, 5, 6]);
+    }
+}

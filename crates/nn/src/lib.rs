@@ -1,0 +1,44 @@
+//! # zeus-nn
+//!
+//! A minimal, dependency-light neural-network substrate for the Zeus
+//! reproduction. The Zeus paper (SIGMOD 2022) builds on PyTorch for two
+//! models: the R3D action-recognition network that backs the Adaptive Proxy
+//! Feature Generator (APFG, §3/§5) and the 3-layer MLP Q-network of the DQN
+//! agent (§4.3/§5). This crate provides everything those models need,
+//! implemented from scratch:
+//!
+//! * [`tensor::Tensor`] — row-major `f32` n-dimensional arrays with the
+//!   small set of ops the models use (matmul, elementwise, reductions).
+//! * [`linear::Linear`], [`activation::Activation`], [`mlp::Mlp`] — dense
+//!   layers with manual backprop, composed into the Q-network.
+//! * [`conv::Conv3d`], [`conv::MaxPool3d`], [`conv::GlobalAvgPool3d`] — 3D
+//!   convolutional blocks used by the small real R3D path (`zeus-apfg`).
+//! * [`loss`] — Huber (the DQN loss of Algorithm 1), MSE, and
+//!   softmax-cross-entropy (APFG classification head).
+//! * [`optim`] — SGD with momentum and Adam.
+//! * [`init`] — Xavier/He initialisation with explicit, seedable RNGs.
+//! * [`serialize`] — flat weight checkpointing.
+//!
+//! Determinism is a design requirement: every random operation takes an
+//! explicit RNG so the benchmark harness can regenerate the paper's tables
+//! bit-for-bit.
+
+
+#![warn(missing_docs)]
+pub mod activation;
+pub mod conv;
+pub mod init;
+pub mod linear;
+pub mod loss;
+pub mod mlp;
+pub mod optim;
+pub mod param;
+pub mod serialize;
+pub mod tensor;
+
+pub use activation::Activation;
+pub use conv::{Conv3d, GlobalAvgPool3d, MaxPool3d};
+pub use linear::Linear;
+pub use mlp::Mlp;
+pub use param::Param;
+pub use tensor::Tensor;

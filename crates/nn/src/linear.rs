@@ -1,0 +1,216 @@
+//! Fully-connected (dense) layer with manual backprop.
+
+use rand::Rng;
+
+use crate::init;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A dense layer computing `Y = X W + b` over 2-D batches `[batch, in]`.
+///
+/// The layer caches its input during [`Linear::forward`] so that
+/// [`Linear::backward`] can compute `dW = X^T dY` without the caller
+/// re-supplying activations — the same contract PyTorch modules provide.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix, row-major `[in_dim, out_dim]`.
+    pub w: Param,
+    /// Bias vector `[out_dim]`.
+    pub b: Param,
+    in_dim: usize,
+    out_dim: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Create a layer with He-normal weights (suited to the ReLU MLPs Zeus
+    /// uses) and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        let w = Param::new(init::he_normal(in_dim, in_dim * out_dim, rng));
+        let b = Param::zeros(out_dim);
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+            cached_input: None,
+        }
+    }
+
+    /// Create a layer with Xavier-uniform weights (used by output heads
+    /// where activations are linear).
+    pub fn new_xavier(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        let w = Param::new(init::xavier_uniform(in_dim, out_dim, rng));
+        let b = Param::zeros(out_dim);
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+            cached_input: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    fn weight_tensor(&self) -> Tensor {
+        Tensor::from_vec(&[self.in_dim, self.out_dim], self.w.value.clone())
+    }
+
+    /// Forward pass, caching the input for the subsequent backward pass.
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        assert_eq!(x.ndim(), 2, "Linear expects [batch, features]");
+        assert_eq!(
+            x.shape()[1],
+            self.in_dim,
+            "input features {} != layer in_dim {}",
+            x.shape()[1],
+            self.in_dim
+        );
+        let w = self.weight_tensor();
+        let bias = Tensor::vector(self.b.value.clone());
+        let y = x.matmul(&w).add_row_broadcast(&bias);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    /// Inference-only forward pass that does not cache the input.
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.ndim(), 2, "Linear expects [batch, features]");
+        let w = self.weight_tensor();
+        let bias = Tensor::vector(self.b.value.clone());
+        x.matmul(&w).add_row_broadcast(&bias)
+    }
+
+    /// Backward pass: accumulate `dW`, `db` and return `dX`.
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        assert_eq!(grad_out.shape()[0], x.shape()[0], "batch mismatch");
+        assert_eq!(grad_out.shape()[1], self.out_dim, "grad width mismatch");
+
+        // dW = X^T dY  (fused, no transpose materialisation)
+        let dw = x.matmul_tn(grad_out);
+        self.w.accumulate(dw.data());
+        // db = column sums of dY
+        let db = grad_out.sum_rows();
+        self.b.accumulate(db.data());
+        // dX = dY W^T (matmul_nt multiplies by the transpose of its argument)
+        let w = self.weight_tensor();
+        grad_out.matmul_nt(&w)
+    }
+
+    /// Mutable references to this layer's parameters (weights then bias).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w, &mut self.b]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn fixed_layer() -> Linear {
+        // 2 -> 3 layer with hand-set weights for exact checks.
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut l = Linear::new(2, 3, &mut rng);
+        l.w.value = vec![
+            1.0, 2.0, 3.0, // row for input dim 0
+            4.0, 5.0, 6.0, // row for input dim 1
+        ];
+        l.b.value = vec![0.1, 0.2, 0.3];
+        l
+    }
+
+    #[test]
+    fn forward_hand_computed() {
+        let mut l = fixed_layer();
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let y = l.forward(&x);
+        // y = [1*1+2*4+0.1, 1*2+2*5+0.2, 1*3+2*6+0.3] = [9.1, 12.2, 15.3]
+        assert_eq!(y.shape(), &[1, 3]);
+        let want = [9.1, 12.2, 15.3];
+        for (a, b) in y.data().iter().zip(want.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_gradients_hand_computed() {
+        let mut l = fixed_layer();
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 2.0]);
+        let _ = l.forward(&x);
+        let dy = Tensor::from_vec(&[1, 3], vec![1.0, 1.0, 1.0]);
+        let dx = l.backward(&dy);
+        // dW = x^T dy = [[1,1,1],[2,2,2]]
+        assert_eq!(l.w.grad, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        // db = dy
+        assert_eq!(l.b.grad, vec![1.0, 1.0, 1.0]);
+        // dX = dy W^T = [1+2+3, 4+5+6] = [6, 15]
+        assert_eq!(dx.data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn backward_numerical_gradient_check() {
+        // Finite-difference check of dL/dW for L = sum(forward(x)).
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut l = Linear::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(&[2, 3], vec![0.5, -1.0, 2.0, 1.5, 0.0, -0.5]);
+
+        let _ = l.forward(&x);
+        let dy = Tensor::full(&[2, 2], 1.0);
+        let _ = l.backward(&dy);
+        let analytic = l.w.grad.clone();
+
+        let eps = 1e-3f32;
+        for i in 0..l.w.value.len() {
+            let orig = l.w.value[i];
+            l.w.value[i] = orig + eps;
+            let up = l.forward_inference(&x).sum();
+            l.w.value[i] = orig - eps;
+            let down = l.forward_inference(&x).sum();
+            l.w.value[i] = orig;
+            let numeric = (up - down) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[i]).abs() < 1e-2,
+                "weight {i}: numeric {numeric} vs analytic {}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let mut l = Linear::new(2, 2, &mut rng);
+        let dy = Tensor::zeros(&[1, 2]);
+        let _ = l.backward(&dy);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_calls() {
+        let mut l = fixed_layer();
+        let x = Tensor::from_vec(&[1, 2], vec![1.0, 0.0]);
+        let dy = Tensor::from_vec(&[1, 3], vec![1.0, 0.0, 0.0]);
+        let _ = l.forward(&x);
+        let _ = l.backward(&dy);
+        let _ = l.forward(&x);
+        let _ = l.backward(&dy);
+        assert_eq!(l.w.grad[0], 2.0, "two backward passes should accumulate");
+    }
+}

@@ -1,0 +1,323 @@
+//! Multi-layer perceptron with manual backprop.
+//!
+//! Zeus's DQN model "is a Multi-layer Perceptron (MLP) with 3 fully-connected
+//! layers" (§5). [`Mlp`] composes [`Linear`] layers with a shared hidden
+//! activation and an identity output, exactly the shape the Q-network needs:
+//! proxy-feature in, one Q-value per configuration out.
+
+use rand::Rng;
+use rand::SeedableRng;
+
+use crate::activation::Activation;
+use crate::linear::Linear;
+use crate::param::Param;
+use crate::tensor::Tensor;
+
+/// A feed-forward network `Linear -> act -> ... -> Linear` (identity output).
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_activation: Activation,
+    /// Pre-activation inputs cached per layer during `forward` (needed to
+    /// compute activation gradients in `backward`).
+    cached_preacts: Vec<Tensor>,
+}
+
+impl Mlp {
+    /// Build an MLP from a layer-size spec, e.g. `&[24, 64, 64, 16]` builds
+    /// three `Linear` layers (the paper's 3-FC-layer Q-network shape).
+    pub fn new(sizes: &[usize], hidden_activation: Activation, rng: &mut impl Rng) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for w in sizes.windows(2) {
+            layers.push(Linear::new(w[0], w[1], rng));
+        }
+        Mlp {
+            layers,
+            hidden_activation,
+            cached_preacts: Vec::new(),
+        }
+    }
+
+    /// Number of `Linear` layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input feature dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers.first().map(Linear::in_dim).unwrap_or(0)
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().map(Linear::out_dim).unwrap_or(0)
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.w.len() + l.b.len())
+            .sum()
+    }
+
+    /// Training forward pass (caches activations for `backward`).
+    pub fn forward(&mut self, x: &Tensor) -> Tensor {
+        self.cached_preacts.clear();
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let z = layer.forward(&h);
+            if i + 1 < n {
+                self.cached_preacts.push(z.clone());
+                h = self.hidden_activation.forward(&z);
+            } else {
+                h = z; // identity output head
+            }
+        }
+        h
+    }
+
+    /// Inference forward pass without caching (usable through `&self`).
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let z = layer.forward_inference(&h);
+            h = if i + 1 < n {
+                self.hidden_activation.forward(&z)
+            } else {
+                z
+            };
+        }
+        h
+    }
+
+    /// Backward pass from an output gradient; accumulates parameter
+    /// gradients and returns the gradient w.r.t. the network input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let n = self.layers.len();
+        assert_eq!(
+            self.cached_preacts.len(),
+            n.saturating_sub(1),
+            "backward called before forward"
+        );
+        let mut grad = grad_out.clone();
+        for i in (0..n).rev() {
+            grad = self.layers[i].backward(&grad);
+            if i > 0 {
+                let z = &self.cached_preacts[i - 1];
+                grad = self.hidden_activation.backward(z, &grad);
+            }
+        }
+        grad
+    }
+
+    /// Zero all parameter gradients.
+    pub fn zero_grad(&mut self) {
+        for l in &mut self.layers {
+            l.w.zero_grad();
+            l.b.zero_grad();
+        }
+    }
+
+    /// Mutable access to all parameters in a stable order (for optimizers
+    /// and checkpointing).
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
+    }
+
+    /// Snapshot all parameter values as flat vectors (stable order).
+    pub fn snapshot(&self) -> Vec<Vec<f32>> {
+        self.layers
+            .iter()
+            .flat_map(|l| [l.w.value.clone(), l.b.value.clone()])
+            .collect()
+    }
+
+    /// Load parameter values from a snapshot produced by [`Mlp::snapshot`]
+    /// on an identically-shaped network.
+    pub fn load_snapshot(&mut self, snap: &[Vec<f32>]) {
+        let mut params = self.params_mut();
+        assert_eq!(params.len(), snap.len(), "snapshot layer count mismatch");
+        for (p, s) in params.iter_mut().zip(snap.iter()) {
+            assert_eq!(p.value.len(), s.len(), "snapshot param length mismatch");
+            p.value.copy_from_slice(s);
+        }
+    }
+
+    /// Copy parameter values from another identically-shaped MLP (used for
+    /// DQN target-network synchronisation).
+    pub fn copy_weights_from(&mut self, other: &Mlp) {
+        let snap = other.snapshot();
+        self.load_snapshot(&snap);
+    }
+
+    /// Rebuild an MLP from a snapshot produced by [`Mlp::snapshot`]. Layer
+    /// shapes are recovered from the flat buffers: each `(weights, bias)`
+    /// pair implies `out = bias.len()`, `in = weights.len() / out`.
+    pub fn from_snapshot(snap: &[Vec<f32>], hidden_activation: Activation) -> Mlp {
+        assert!(
+            !snap.is_empty() && snap.len().is_multiple_of(2),
+            "snapshot must hold (weights, bias) pairs"
+        );
+        let mut sizes = Vec::with_capacity(snap.len() / 2 + 1);
+        for pair in snap.chunks(2) {
+            let out = pair[1].len();
+            assert!(out > 0 && pair[0].len() % out == 0, "corrupt snapshot");
+            let inp = pair[0].len() / out;
+            if sizes.is_empty() {
+                sizes.push(inp);
+            } else {
+                assert_eq!(*sizes.last().unwrap(), inp, "layer shapes must chain");
+            }
+            sizes.push(out);
+        }
+        // Weight values come from the snapshot; the RNG is only used for
+        // construction and its output is immediately overwritten.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+        let mut mlp = Mlp::new(&sizes, hidden_activation, &mut rng);
+        mlp.load_snapshot(snap);
+        mlp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss;
+    use crate::optim::{Optimizer, Sgd};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut net = Mlp::new(&[4, 8, 8, 3], Activation::Relu, &mut rng);
+        assert_eq!(net.num_layers(), 3);
+        assert_eq!(net.in_dim(), 4);
+        assert_eq!(net.out_dim(), 3);
+        let x = Tensor::zeros(&[5, 4]);
+        let y = net.forward(&x);
+        assert_eq!(y.shape(), &[5, 3]);
+    }
+
+    #[test]
+    fn param_count_matches_formula() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let net = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+        // (4*8 + 8) + (8*3 + 3) = 40 + 27 = 67
+        assert_eq!(net.param_count(), 67);
+    }
+
+    #[test]
+    fn inference_matches_training_forward() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut net = Mlp::new(&[3, 6, 2], Activation::Relu, &mut rng);
+        let x = Tensor::from_vec(&[2, 3], vec![1.0, -0.5, 0.3, 0.0, 2.0, -1.0]);
+        let a = net.forward(&x);
+        let b = net.forward_inference(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn numerical_gradient_check_through_two_layers() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut net = Mlp::new(&[3, 4, 2], Activation::Tanh, &mut rng);
+        let x = Tensor::from_vec(&[2, 3], vec![0.2, -0.4, 0.6, -0.1, 0.5, 0.3]);
+
+        // Analytic gradient of L = sum(output).
+        net.zero_grad();
+        let y = net.forward(&x);
+        let dy = Tensor::full(y.shape(), 1.0);
+        let _ = net.backward(&dy);
+        let analytic: Vec<Vec<f32>> = net
+            .params_mut()
+            .iter()
+            .map(|p| p.grad.clone())
+            .collect();
+
+        // Numeric gradients.
+        let eps = 1e-3f32;
+        let n_params = analytic.len();
+        for pi in 0..n_params {
+            let plen = analytic[pi].len();
+            for j in (0..plen).step_by(3) {
+                let orig = net.params_mut()[pi].value[j];
+                net.params_mut()[pi].value[j] = orig + eps;
+                let up = net.forward_inference(&x).sum();
+                net.params_mut()[pi].value[j] = orig - eps;
+                let down = net.forward_inference(&x).sum();
+                net.params_mut()[pi].value[j] = orig;
+                let numeric = (up - down) / (2.0 * eps);
+                let a = analytic[pi][j];
+                assert!(
+                    (numeric - a).abs() < 2e-2,
+                    "param {pi}[{j}]: numeric {numeric} vs analytic {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learns_a_linear_function() {
+        // Regression sanity check: y = 2*x0 - x1 learnable to low MSE.
+        let mut rng = ChaCha8Rng::seed_from_u64(13);
+        let mut net = Mlp::new(&[2, 16, 1], Activation::Relu, &mut rng);
+        let mut opt = Sgd::new(0.05, 0.9);
+
+        let xs: Vec<f32> = (0..64)
+            .flat_map(|i| {
+                let a = (i % 8) as f32 / 4.0 - 1.0;
+                let b = (i / 8) as f32 / 4.0 - 1.0;
+                [a, b]
+            })
+            .collect();
+        let x = Tensor::from_vec(&[64, 2], xs.clone());
+        let targets: Vec<f32> = xs.chunks(2).map(|p| 2.0 * p[0] - p[1]).collect();
+        let t = Tensor::from_vec(&[64, 1], targets);
+
+        let mut final_loss = f32::MAX;
+        for _ in 0..300 {
+            net.zero_grad();
+            let y = net.forward(&x);
+            let (l, dy) = loss::mse(&y, &t);
+            let _ = net.backward(&dy);
+            opt.step(&mut net.params_mut());
+            final_loss = l;
+        }
+        assert!(final_loss < 0.01, "MLP failed to fit: loss {final_loss}");
+    }
+
+    #[test]
+    fn from_snapshot_reconstructs_the_network() {
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let original = Mlp::new(&[5, 7, 3], Activation::Relu, &mut rng);
+        let rebuilt = Mlp::from_snapshot(&original.snapshot(), Activation::Relu);
+        assert_eq!(rebuilt.in_dim(), 5);
+        assert_eq!(rebuilt.out_dim(), 3);
+        let x = Tensor::from_vec(&[2, 5], (0..10).map(|i| i as f32 / 10.0).collect());
+        assert_eq!(original.forward_inference(&x), rebuilt.forward_inference(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot must hold")]
+    fn from_snapshot_rejects_odd_buffers() {
+        let _ = Mlp::from_snapshot(&[vec![1.0]], Activation::Relu);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_and_target_sync() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let a = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng);
+        let mut b = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng);
+        let x = Tensor::from_vec(&[1, 3], vec![0.1, 0.2, 0.3]);
+        assert_ne!(a.forward_inference(&x), b.forward_inference(&x));
+        b.copy_weights_from(&a);
+        assert_eq!(a.forward_inference(&x), b.forward_inference(&x));
+    }
+}

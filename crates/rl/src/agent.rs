@@ -1,0 +1,447 @@
+//! The DQN agent: ε-greedy Q-network with target network (Algorithm 1).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use zeus_nn::loss;
+use zeus_nn::optim::{clip_grad_norm, Adam, Optimizer};
+use zeus_nn::{Activation, Mlp, Tensor};
+
+use crate::replay::Experience;
+
+/// Agent hyperparameters. Paper values (§5): a 3-FC-layer MLP Q-network,
+/// Huber loss, experience replay.
+#[derive(Debug, Clone)]
+pub struct DqnConfig {
+    /// Hidden layer widths of the Q-network (two hiddens = 3 FC layers).
+    pub hidden: Vec<usize>,
+    /// Discount factor γ.
+    pub gamma: f32,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Huber loss threshold δ.
+    pub huber_delta: f32,
+    /// Sync the target network every this many updates.
+    pub target_sync_every: usize,
+    /// Global gradient-norm clip.
+    pub grad_clip: f32,
+    /// Double-DQN targets (van Hasselt et al.): the online network picks
+    /// the argmax action, the target network evaluates it. Reduces the
+    /// max-operator overestimation bias that plain DQN suffers with many
+    /// similar-valued actions (our configuration spaces).
+    pub double_dqn: bool,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        DqnConfig {
+            hidden: vec![64, 64],
+            gamma: 0.9,
+            learning_rate: 1e-3,
+            huber_delta: 1.0,
+            target_sync_every: 200,
+            grad_clip: 10.0,
+            double_dqn: true,
+        }
+    }
+}
+
+/// The DQN agent of Algorithm 1: online network φ, frozen target network,
+/// Adam, masked Huber TD loss.
+pub struct DqnAgent {
+    q: Mlp,
+    target: Mlp,
+    opt: Adam,
+    cfg: DqnConfig,
+    num_actions: usize,
+    updates: usize,
+    rng: ChaCha8Rng,
+}
+
+impl std::fmt::Debug for DqnAgent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DqnAgent")
+            .field("state_dim", &self.q.in_dim())
+            .field("num_actions", &self.num_actions)
+            .field("updates", &self.updates)
+            .finish()
+    }
+}
+
+impl DqnAgent {
+    /// Create an agent for `state_dim`-dimensional states and
+    /// `num_actions` configurations.
+    pub fn new(state_dim: usize, num_actions: usize, cfg: DqnConfig, seed: u64) -> Self {
+        assert!(state_dim > 0 && num_actions > 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut sizes = vec![state_dim];
+        sizes.extend_from_slice(&cfg.hidden);
+        sizes.push(num_actions);
+        let q = Mlp::new(&sizes, Activation::Relu, &mut rng);
+        let mut target = Mlp::new(&sizes, Activation::Relu, &mut rng);
+        target.copy_weights_from(&q);
+        let opt = Adam::new(cfg.learning_rate);
+        DqnAgent {
+            q,
+            target,
+            opt,
+            cfg,
+            num_actions,
+            updates: 0,
+            rng,
+        }
+    }
+
+    /// Number of actions.
+    pub fn num_actions(&self) -> usize {
+        self.num_actions
+    }
+
+    /// Number of gradient updates performed.
+    pub fn updates(&self) -> usize {
+        self.updates
+    }
+
+    /// Q-values for one state.
+    pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
+        let x = Tensor::from_vec(&[1, state.len()], state.to_vec());
+        self.q.forward_inference(&x).into_vec()
+    }
+
+    /// Greedy action: `argmax(φ(state))` (Algorithm 1 line 6).
+    pub fn greedy_action(&self, state: &[f32]) -> usize {
+        let q = self.q_values(state);
+        Tensor::vector(q).argmax()
+    }
+
+    /// ε-greedy action selection.
+    pub fn select_action(&mut self, state: &[f32], epsilon: f64) -> usize {
+        if self.rng.gen::<f64>() < epsilon {
+            self.rng.gen_range(0..self.num_actions)
+        } else {
+            self.greedy_action(state)
+        }
+    }
+
+    /// One DQN update over a minibatch (Algorithm 1 lines 11–14):
+    /// targets `r + γ·max_a' Q_target(s', a')` (or `r` at terminals),
+    /// masked Huber loss, Adam step, periodic target sync. Returns the
+    /// loss.
+    pub fn update(&mut self, batch: &[&Experience]) -> f32 {
+        assert!(!batch.is_empty(), "empty minibatch");
+        let state_dim = self.q.in_dim();
+        let n = batch.len();
+
+        let mut states = Vec::with_capacity(n * state_dim);
+        let mut next_states = Vec::with_capacity(n * state_dim);
+        for e in batch {
+            assert_eq!(e.state.len(), state_dim, "state dim mismatch");
+            states.extend_from_slice(&e.state);
+            next_states.extend_from_slice(&e.next_state);
+        }
+        let states = Tensor::from_vec(&[n, state_dim], states);
+        let next_states = Tensor::from_vec(&[n, state_dim], next_states);
+
+        // Bootstrapped targets from the frozen network. With Double DQN
+        // the online network selects the action and the target network
+        // evaluates it; with plain DQN the target network does both.
+        let next_q_target = self.target.forward_inference(&next_states);
+        let next_values: Vec<f32> = if self.cfg.double_dqn {
+            let next_q_online = self.q.forward_inference(&next_states);
+            next_q_online
+                .argmax_rows()
+                .into_iter()
+                .enumerate()
+                .map(|(row, a)| next_q_target.at2(row, a))
+                .collect()
+        } else {
+            next_q_target.max_rows()
+        };
+        let targets: Vec<f32> = batch
+            .iter()
+            .zip(next_values.iter())
+            .map(|(e, &m)| {
+                if e.done {
+                    e.reward
+                } else {
+                    e.reward + self.cfg.gamma * m
+                }
+            })
+            .collect();
+        let actions: Vec<usize> = batch.iter().map(|e| e.action).collect();
+
+        self.q.zero_grad();
+        let pred = self.q.forward(&states);
+        let (loss, grad) =
+            loss::huber_selected(&pred, &actions, &targets, self.cfg.huber_delta);
+        let _ = self.q.backward(&grad);
+        let mut params = self.q.params_mut();
+        clip_grad_norm(&mut params, self.cfg.grad_clip);
+        self.opt.step(&mut params);
+
+        self.updates += 1;
+        if self.updates.is_multiple_of(self.cfg.target_sync_every) {
+            self.target.copy_weights_from(&self.q);
+        }
+        loss
+    }
+
+    /// Force a target-network sync.
+    pub fn sync_target(&mut self) {
+        self.target.copy_weights_from(&self.q);
+    }
+
+    /// Snapshot the online network weights (for checkpointing).
+    pub fn snapshot(&self) -> Vec<Vec<f32>> {
+        self.q.snapshot()
+    }
+
+    /// Restore online + target networks from a snapshot.
+    pub fn load_snapshot(&mut self, snap: &[Vec<f32>]) {
+        self.q.load_snapshot(snap);
+        self.target.copy_weights_from(&self.q);
+    }
+
+    /// Extract an immutable greedy policy.
+    pub fn policy(&self) -> GreedyPolicy {
+        GreedyPolicy {
+            net: self.q.clone(),
+        }
+    }
+}
+
+/// A frozen greedy policy extracted from a trained agent — what the query
+/// executor ships (§3: the trained DQN picking the next configuration).
+#[derive(Debug, Clone)]
+pub struct GreedyPolicy {
+    net: Mlp,
+}
+
+impl GreedyPolicy {
+    /// The greedy action for a state.
+    pub fn act(&self, state: &[f32]) -> usize {
+        let x = Tensor::from_vec(&[1, state.len()], state.to_vec());
+        self.net.forward_inference(&x).argmax()
+    }
+
+    /// Serialize the policy network to bytes (Zeus checkpoint format).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        zeus_nn::serialize::encode(&self.net.snapshot())
+    }
+
+    /// Restore a policy from [`GreedyPolicy::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<GreedyPolicy, zeus_nn::serialize::DecodeError> {
+        let snap = zeus_nn::serialize::decode(bytes)?;
+        Ok(GreedyPolicy {
+            net: Mlp::from_snapshot(&snap, Activation::Relu),
+        })
+    }
+
+    /// Q-values (useful for diagnostics).
+    pub fn q_values(&self, state: &[f32]) -> Vec<f32> {
+        let x = Tensor::from_vec(&[1, state.len()], state.to_vec());
+        self.net.forward_inference(&x).into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exp(state: Vec<f32>, action: usize, reward: f32, next: Vec<f32>, done: bool) -> Experience {
+        Experience {
+            state,
+            action,
+            reward,
+            next_state: next,
+            done,
+        }
+    }
+
+    #[test]
+    fn q_values_shape() {
+        let a = DqnAgent::new(4, 3, DqnConfig::default(), 0);
+        assert_eq!(a.q_values(&[0.0; 4]).len(), 3);
+    }
+
+    #[test]
+    fn epsilon_one_explores_uniformly() {
+        let mut a = DqnAgent::new(2, 4, DqnConfig::default(), 1);
+        let mut counts = [0usize; 4];
+        for _ in 0..400 {
+            counts[a.select_action(&[0.0, 0.0], 1.0)] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 50, "action {i} undersampled: {c}");
+        }
+    }
+
+    #[test]
+    fn epsilon_zero_is_greedy() {
+        let mut a = DqnAgent::new(2, 3, DqnConfig::default(), 1);
+        let greedy = a.greedy_action(&[0.5, -0.5]);
+        for _ in 0..10 {
+            assert_eq!(a.select_action(&[0.5, -0.5], 0.0), greedy);
+        }
+    }
+
+    #[test]
+    fn update_learns_a_bandit() {
+        // Contextual bandit: reward 1 if action == state bit else -1.
+        let mut a = DqnAgent::new(
+            1,
+            2,
+            DqnConfig {
+                target_sync_every: 10,
+                learning_rate: 5e-3,
+                ..DqnConfig::default()
+            },
+            7,
+        );
+        let mut experiences = Vec::new();
+        for i in 0..200 {
+            let s = (i % 2) as f32;
+            for action in 0..2 {
+                let r = if action == (s as usize) { 1.0 } else { -1.0 };
+                experiences.push(exp(vec![s], action, r, vec![1.0 - s], true));
+            }
+        }
+        for chunk in experiences.chunks(32).cycle().take(120) {
+            let batch: Vec<&Experience> = chunk.iter().collect();
+            let _ = a.update(&batch);
+        }
+        assert_eq!(a.greedy_action(&[0.0]), 0);
+        assert_eq!(a.greedy_action(&[1.0]), 1);
+    }
+
+    #[test]
+    fn bootstrapping_propagates_future_reward() {
+        // Two-step chain: s0 -a0-> s1 (r=0), s1 -a0-> terminal (r=1).
+        // With γ=0.9, Q(s0, a0) should approach 0.9.
+        let cfg = DqnConfig {
+            gamma: 0.9,
+            target_sync_every: 25,
+            learning_rate: 5e-3,
+            ..DqnConfig::default()
+        };
+        let mut a = DqnAgent::new(1, 1, cfg, 3);
+        let e0 = exp(vec![0.0], 0, 0.0, vec![1.0], false);
+        let e1 = exp(vec![1.0], 0, 1.0, vec![0.0], true);
+        for _ in 0..800 {
+            let batch = vec![&e0, &e1];
+            let _ = a.update(&batch);
+        }
+        let q0 = a.q_values(&[0.0])[0];
+        let q1 = a.q_values(&[1.0])[0];
+        assert!((q1 - 1.0).abs() < 0.15, "Q(s1) = {q1}");
+        assert!((q0 - 0.9).abs() < 0.2, "Q(s0) = {q0}");
+    }
+
+    #[test]
+    fn plain_dqn_also_learns_the_bandit() {
+        let mut a = DqnAgent::new(
+            1,
+            2,
+            DqnConfig {
+                double_dqn: false,
+                target_sync_every: 10,
+                learning_rate: 5e-3,
+                ..DqnConfig::default()
+            },
+            7,
+        );
+        let mut experiences = Vec::new();
+        for i in 0..200 {
+            let s = (i % 2) as f32;
+            for action in 0..2 {
+                let r = if action == (s as usize) { 1.0 } else { -1.0 };
+                experiences.push(exp(vec![s], action, r, vec![1.0 - s], true));
+            }
+        }
+        for chunk in experiences.chunks(32).cycle().take(120) {
+            let batch: Vec<&Experience> = chunk.iter().collect();
+            let _ = a.update(&batch);
+        }
+        assert_eq!(a.greedy_action(&[0.0]), 0);
+        assert_eq!(a.greedy_action(&[1.0]), 1);
+    }
+
+    #[test]
+    fn double_dqn_diverges_from_plain_dqn() {
+        // With identical seeds and experience streams, the two target
+        // rules must eventually produce different weights: once the online
+        // net's argmax disagrees with the target net's max, the
+        // bootstrapped values differ.
+        let mk = |double| {
+            DqnAgent::new(
+                2,
+                3,
+                DqnConfig {
+                    double_dqn: double,
+                    target_sync_every: 10_000,
+                    learning_rate: 5e-3,
+                    ..DqnConfig::default()
+                },
+                3,
+            )
+        };
+        let mut plain = mk(false);
+        let mut double = mk(true);
+        let experiences: Vec<Experience> = (0..24)
+            .map(|i| {
+                exp(
+                    vec![(i % 3) as f32 / 2.0, ((i + 1) % 4) as f32 / 3.0],
+                    i % 3,
+                    ((i % 7) as f32 - 3.0) / 3.0,
+                    vec![((i + 2) % 3) as f32 / 2.0, (i % 5) as f32 / 4.0],
+                    false,
+                )
+            })
+            .collect();
+        for _ in 0..60 {
+            let batch: Vec<&Experience> = experiences.iter().collect();
+            let _ = plain.update(&batch);
+            let _ = double.update(&batch);
+        }
+        let probe = [0.4f32, 0.6];
+        assert_ne!(
+            plain.q_values(&probe),
+            double.q_values(&probe),
+            "double-DQN must train differently from plain DQN"
+        );
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let a = DqnAgent::new(3, 2, DqnConfig::default(), 5);
+        let snap = a.snapshot();
+        let mut b = DqnAgent::new(3, 2, DqnConfig::default(), 99);
+        assert_ne!(a.q_values(&[0.1, 0.2, 0.3]), b.q_values(&[0.1, 0.2, 0.3]));
+        b.load_snapshot(&snap);
+        assert_eq!(a.q_values(&[0.1, 0.2, 0.3]), b.q_values(&[0.1, 0.2, 0.3]));
+    }
+
+    #[test]
+    fn policy_bytes_roundtrip() {
+        let a = DqnAgent::new(4, 3, DqnConfig::default(), 17);
+        let p = a.policy();
+        let bytes = p.to_bytes();
+        let q = GreedyPolicy::from_bytes(&bytes).unwrap();
+        for i in 0..5 {
+            let s = [0.1 * i as f32, -0.3, 0.9, 0.2];
+            assert_eq!(p.act(&s), q.act(&s));
+            assert_eq!(p.q_values(&s), q.q_values(&s));
+        }
+        assert!(GreedyPolicy::from_bytes(&bytes[..4]).is_err());
+    }
+
+    #[test]
+    fn policy_matches_agent() {
+        let a = DqnAgent::new(3, 4, DqnConfig::default(), 11);
+        let p = a.policy();
+        for i in 0..5 {
+            let s = [i as f32 * 0.3, -0.2, 0.7];
+            assert_eq!(p.act(&s), a.greedy_action(&s));
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The experience replay buffer (§4.3).
+//!
+//! "DQN uses an experience replay buffer. This is a cyclic memory buffer
+//! that stores the experience tuples from the last K transitions. ... Zeus
+//! samples a mini-batch of experiences from the replay buffer and updates
+//! the model parameters. This technique improves the model's sample
+//! efficiency by reducing the correlation between samples."
+
+use rand::Rng;
+
+/// One experience tuple `(state, action, reward, next_state, done)`
+/// (Algorithm 1, line 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experience {
+    /// ProxyFeature state before acting.
+    pub state: Vec<f32>,
+    /// Index of the chosen configuration.
+    pub action: usize,
+    /// Scalar reward (local or aggregate, §4.4/§4.6).
+    pub reward: f32,
+    /// ProxyFeature state after acting.
+    pub next_state: Vec<f32>,
+    /// Whether the episode terminated at this transition.
+    pub done: bool,
+}
+
+/// Fixed-capacity cyclic buffer of experiences.
+#[derive(Debug, Clone)]
+pub struct ReplayBuffer {
+    buf: Vec<Experience>,
+    capacity: usize,
+    next: usize,
+    total_pushed: u64,
+}
+
+impl ReplayBuffer {
+    /// Create a buffer holding at most `capacity` experiences (the paper
+    /// uses 10 K, §5).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            total_pushed: 0,
+        }
+    }
+
+    /// Maximum number of experiences retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of stored experiences.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total experiences ever pushed (≥ `len()`).
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Append an experience, overwriting the oldest when full.
+    pub fn push(&mut self, e: Experience) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.next] = e;
+        }
+        self.next = (self.next + 1) % self.capacity;
+        self.total_pushed += 1;
+    }
+
+    /// Sample `batch` experiences uniformly with replacement. Panics on an
+    /// empty buffer.
+    pub fn sample<'a>(&'a self, batch: usize, rng: &mut impl Rng) -> Vec<&'a Experience> {
+        assert!(!self.buf.is_empty(), "cannot sample from empty buffer");
+        (0..batch)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
+    }
+
+    /// Iterate over stored experiences (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = &Experience> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn exp(reward: f32) -> Experience {
+        Experience {
+            state: vec![0.0],
+            action: 0,
+            reward,
+            next_state: vec![0.0],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut b = ReplayBuffer::new(3);
+        assert!(b.is_empty());
+        b.push(exp(1.0));
+        b.push(exp(2.0));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total_pushed(), 2);
+    }
+
+    #[test]
+    fn cyclic_overwrite_keeps_newest() {
+        let mut b = ReplayBuffer::new(3);
+        for i in 0..5 {
+            b.push(exp(i as f32));
+        }
+        assert_eq!(b.len(), 3);
+        let rewards: Vec<f32> = b.iter().map(|e| e.reward).collect();
+        // Slots: [3, 4, 2] — contents are exactly the newest three.
+        let mut sorted = rewards.clone();
+        sorted.sort_by(f32::total_cmp);
+        assert_eq!(sorted, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut b = ReplayBuffer::new(10);
+        for i in 0..4 {
+            b.push(exp(i as f32));
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let s = b.sample(16, &mut rng);
+        assert_eq!(s.len(), 16);
+        assert!(s.iter().all(|e| e.reward < 4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample from empty buffer")]
+    fn sample_empty_panics() {
+        let b = ReplayBuffer::new(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let _ = b.sample(1, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ReplayBuffer::new(0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Exploration-rate schedules.
+
+/// Linear ε decay from `start` to `end` over `decay_steps` steps, constant
+/// afterwards — the standard DQN exploration schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsilonSchedule {
+    /// Initial exploration rate.
+    pub start: f64,
+    /// Final exploration rate.
+    pub end: f64,
+    /// Steps over which to decay.
+    pub decay_steps: u64,
+}
+
+impl EpsilonSchedule {
+    /// Create a schedule; `start >= end`, both in `[0, 1]`.
+    pub fn new(start: f64, end: f64, decay_steps: u64) -> Self {
+        assert!((0.0..=1.0).contains(&start) && (0.0..=1.0).contains(&end));
+        assert!(start >= end, "epsilon must decay");
+        assert!(decay_steps > 0, "decay_steps must be positive");
+        EpsilonSchedule {
+            start,
+            end,
+            decay_steps,
+        }
+    }
+
+    /// ε at training step `step`.
+    pub fn value(&self, step: u64) -> f64 {
+        if step >= self.decay_steps {
+            return self.end;
+        }
+        let frac = step as f64 / self.decay_steps as f64;
+        self.start + (self.end - self.start) * frac
+    }
+}
+
+impl Default for EpsilonSchedule {
+    /// 1.0 → 0.05 over 10 000 steps.
+    fn default() -> Self {
+        EpsilonSchedule::new(1.0, 0.05, 10_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints() {
+        let s = EpsilonSchedule::new(1.0, 0.1, 100);
+        assert_eq!(s.value(0), 1.0);
+        assert!((s.value(100) - 0.1).abs() < 1e-12);
+        assert!((s.value(10_000) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint() {
+        let s = EpsilonSchedule::new(1.0, 0.0, 100);
+        assert!((s.value(50) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_nonincreasing() {
+        let s = EpsilonSchedule::default();
+        let mut prev = f64::INFINITY;
+        for step in (0..20_000).step_by(500) {
+            let v = s.value(step);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must decay")]
+    fn increasing_schedule_panics() {
+        let _ = EpsilonSchedule::new(0.1, 0.5, 10);
+    }
+}

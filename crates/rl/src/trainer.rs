@@ -1,0 +1,576 @@
+//! The training loop: Algorithm 1 with the delayed aggregate-reward replay
+//! update of §4.6.
+//!
+//! "During the processing of the current aggregation window, the query
+//! planner uses Algorithm 1 to collect the incomplete experience tuples
+//! (without reward) into a temporary buffer. At the end of each window, the
+//! agent updates the experience tuples in the temporary buffer with the
+//! rewards collected using Algorithm 2. Zeus then pushes the updated
+//! experience tuples to the replay buffer."
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::agent::DqnAgent;
+use crate::env::Environment;
+use crate::replay::{Experience, ReplayBuffer};
+use crate::reward::{aggregate_reward_scaled, local_reward, window_outcome, RewardMode};
+
+use crate::schedule::EpsilonSchedule;
+
+/// Trainer hyperparameters. Paper values (§5): replay capacity 10 K,
+/// initialised with 5 K tuples, minibatch 1 K. The defaults here are
+/// scaled for the reproduction's smaller (compact-feature) problem;
+/// `TrainerConfig::paper()` restores the published constants.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of training episodes T (Algorithm 1).
+    pub episodes: usize,
+    /// Replay buffer capacity.
+    pub replay_capacity: usize,
+    /// Experiences collected (with a uniform-random policy) before any
+    /// gradient update — the paper's 5 K-tuple initialisation.
+    pub warmup: usize,
+    /// Minibatch size per update.
+    pub batch_size: usize,
+    /// Environment steps between gradient updates.
+    pub update_every: usize,
+    /// Exploration schedule.
+    pub epsilon: EpsilonSchedule,
+    /// Reward assignment mode (§4.4 local or §4.5/4.6 aggregate).
+    pub reward_mode: RewardMode,
+    /// Stratified replay: keep action-window and background experiences
+    /// in separate buffers and sample minibatches half-and-half. On
+    /// sparse corpora (BDD100K is 7% action) uniform replay starves the
+    /// agent of the action-adjacent transitions that matter most.
+    pub stratify: bool,
+    /// RNG seed for replay sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            episodes: 12,
+            replay_capacity: 10_000,
+            warmup: 512,
+            batch_size: 128,
+            update_every: 2,
+            epsilon: EpsilonSchedule::new(1.0, 0.05, 4_000),
+            reward_mode: RewardMode::Aggregate {
+                target_accuracy: 0.85,
+                window_frames: 1_800,
+                eval_window: 16,
+                fastness_bonus: 0.2,
+                fp_penalty: 2.0,
+                deficit_scale: 3.0,
+                local_mix: 0.5,
+                beta: 0.0,
+            },
+            stratify: true,
+            seed: 0,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// The paper's published constants (§5): 10 K replay, 5 K warm-up,
+    /// 1 K minibatch.
+    pub fn paper() -> Self {
+        TrainerConfig {
+            replay_capacity: 10_000,
+            warmup: 5_000,
+            batch_size: 1_000,
+            ..Self::default()
+        }
+    }
+}
+
+/// Summary of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingReport {
+    /// Mean per-decision reward of each episode.
+    pub episode_rewards: Vec<f32>,
+    /// Mean TD loss of each episode (0 when no updates ran).
+    pub episode_losses: Vec<f32>,
+    /// Total environment steps.
+    pub steps: u64,
+    /// Total gradient updates.
+    pub updates: u64,
+}
+
+impl TrainingReport {
+    /// Mean reward over the last quarter of episodes (convergence probe).
+    pub fn final_reward(&self) -> f32 {
+        if self.episode_rewards.is_empty() {
+            return 0.0;
+        }
+        let tail = (self.episode_rewards.len() / 4).max(1);
+        let s = &self.episode_rewards[self.episode_rewards.len() - tail..];
+        s.iter().sum::<f32>() / s.len() as f32
+    }
+}
+
+/// Pending (reward-less) experience held in the temporary window buffer.
+struct Pending {
+    state: Vec<f32>,
+    action: usize,
+    next_state: Vec<f32>,
+    done: bool,
+    alpha: f32,
+    has_action: bool,
+}
+
+/// The DQN trainer.
+pub struct DqnTrainer {
+    agent: DqnAgent,
+    cfg: TrainerConfig,
+    replay: ReplayBuffer,
+    /// Second buffer for action-window experiences when stratifying.
+    replay_action: ReplayBuffer,
+    rng: ChaCha8Rng,
+    global_step: u64,
+}
+
+impl DqnTrainer {
+    /// Create a trainer around an agent.
+    pub fn new(agent: DqnAgent, cfg: TrainerConfig) -> Self {
+        let replay = ReplayBuffer::new(cfg.replay_capacity);
+        let replay_action = ReplayBuffer::new(cfg.replay_capacity);
+        let rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        DqnTrainer {
+            agent,
+            cfg,
+            replay,
+            replay_action,
+            rng,
+            global_step: 0,
+        }
+    }
+
+    fn replay_len(&self) -> usize {
+        self.replay.len() + self.replay_action.len()
+    }
+
+    fn push_experience(&mut self, e: Experience, action_window: bool) {
+        if self.cfg.stratify && action_window {
+            self.replay_action.push(e);
+        } else {
+            self.replay.push(e);
+        }
+    }
+
+    fn sample_batch(&mut self) -> Vec<Experience> {
+        let want = self.cfg.batch_size.min(self.replay_len());
+        if !self.cfg.stratify || self.replay_action.is_empty() {
+            return self
+                .replay
+                .sample(want, &mut self.rng)
+                .into_iter()
+                .cloned()
+                .collect();
+        }
+        if self.replay.is_empty() {
+            return self
+                .replay_action
+                .sample(want, &mut self.rng)
+                .into_iter()
+                .cloned()
+                .collect();
+        }
+        let half = want / 2;
+        let mut batch: Vec<Experience> = self
+            .replay
+            .sample(want - half, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        batch.extend(
+            self.replay_action
+                .sample(half, &mut self.rng)
+                .into_iter()
+                .cloned(),
+        );
+        batch
+    }
+
+    /// Consume the trainer, returning the trained agent.
+    pub fn into_agent(self) -> DqnAgent {
+        self.agent
+    }
+
+    /// Borrow the agent.
+    pub fn agent(&self) -> &DqnAgent {
+        &self.agent
+    }
+
+    /// Run the full training loop over `env`.
+    pub fn train(&mut self, env: &mut dyn Environment) -> TrainingReport {
+        let mut report = TrainingReport::default();
+        for _ in 0..self.cfg.episodes {
+            let (mean_r, mean_l) = self.run_episode(env, &mut report);
+            report.episode_rewards.push(mean_r);
+            report.episode_losses.push(mean_l);
+        }
+        report
+    }
+
+    fn run_episode(
+        &mut self,
+        env: &mut dyn Environment,
+        report: &mut TrainingReport,
+    ) -> (f32, f32) {
+        let mut state = env.reset();
+        let mut reward_sum = 0.0f32;
+        let mut reward_count = 0u32;
+        let mut loss_sum = 0.0f32;
+        let mut loss_count = 0u32;
+
+        // Aggregate-mode window accumulators (the temporary buffer).
+        let mut pending: Vec<Pending> = Vec::new();
+        let mut window_gt: Vec<bool> = Vec::new();
+        let mut window_pred: Vec<bool> = Vec::new();
+        let mut window_alpha = 0.0f32; // frame-weighted fastness
+        let alpha_max = env
+            .alphas()
+            .iter()
+            .fold(0.0f32, |a, &b| a.max(b))
+            .max(1e-9);
+
+        loop {
+            let eps = if self.replay_len() < self.cfg.warmup {
+                1.0 // uniform-random warm-up fill
+            } else {
+                self.cfg.epsilon.value(self.global_step)
+            };
+            let action = self.agent.select_action(&state, eps);
+            let t = env.step(action);
+            self.global_step += 1;
+            report.steps += 1;
+
+            match self.cfg.reward_mode {
+                RewardMode::Local { beta } => {
+                    let has_action = t.has_action();
+                    let r = local_reward(t.alpha, beta, has_action);
+                    reward_sum += r;
+                    reward_count += 1;
+                    self.push_experience(
+                        Experience {
+                            state: t.state.clone(),
+                            action: t.action,
+                            reward: r,
+                            next_state: t.next_state.clone(),
+                            done: t.done,
+                        },
+                        has_action,
+                    );
+                }
+                RewardMode::Aggregate {
+                    target_accuracy,
+                    window_frames,
+                    eval_window,
+                    fastness_bonus,
+                    fp_penalty,
+                    deficit_scale,
+                    local_mix,
+                    beta,
+                } => {
+                    pending.push(Pending {
+                        state: t.state.clone(),
+                        action: t.action,
+                        next_state: t.next_state.clone(),
+                        done: t.done,
+                        alpha: t.alpha,
+                        has_action: t.has_action(),
+                    });
+                    window_alpha += t.alpha * t.span_len() as f32;
+                    window_gt.extend_from_slice(&t.gt);
+                    window_pred.extend_from_slice(&t.pred);
+                    if window_gt.len() >= window_frames || t.done {
+                        let outcome = window_outcome(&window_gt, &window_pred, eval_window);
+                        let action_window = outcome.accuracy.is_some();
+                        let r = match outcome.accuracy {
+                            Some(acc) => {
+                                aggregate_reward_scaled(acc, target_accuracy, deficit_scale)
+                            }
+                            None => {
+                                let mean_alpha = window_alpha / window_gt.len().max(1) as f32;
+                                fastness_bonus * (mean_alpha / alpha_max)
+                                    - fp_penalty * outcome.fp_fraction as f32
+                            }
+                        };
+                        for p in pending.drain(..) {
+                            let r_i =
+                                r + local_mix * local_reward(p.alpha, beta, p.has_action);
+                            reward_sum += r_i;
+                            reward_count += 1;
+                            self.push_experience(
+                                Experience {
+                                    state: p.state,
+                                    action: p.action,
+                                    reward: r_i,
+                                    next_state: p.next_state,
+                                    done: p.done,
+                                },
+                                action_window,
+                            );
+                        }
+                        window_gt.clear();
+                        window_pred.clear();
+                        window_alpha = 0.0;
+                    }
+                }
+            }
+
+            if self.replay_len() >= self.cfg.warmup
+                && self.global_step.is_multiple_of(self.cfg.update_every as u64)
+            {
+                let batch = self.sample_batch();
+                let refs: Vec<&Experience> = batch.iter().collect();
+                let loss = self.agent.update(&refs);
+                loss_sum += loss;
+                loss_count += 1;
+                report.updates += 1;
+            }
+
+            state = t.next_state;
+            if t.done {
+                break;
+            }
+        }
+
+        (
+            if reward_count == 0 {
+                0.0
+            } else {
+                reward_sum / reward_count as f32
+            },
+            if loss_count == 0 {
+                0.0
+            } else {
+                loss_sum / loss_count as f32
+            },
+        )
+    }
+
+    /// Exploration-free greedy rollout returning mean per-decision reward
+    /// under the trainer's reward mode (evaluation helper).
+    pub fn evaluate(&mut self, env: &mut dyn Environment, episodes: usize) -> f32 {
+        let mut total = 0.0f32;
+        let mut count = 0u32;
+        for _ in 0..episodes {
+            let mut state = env.reset();
+            let mut window_gt: Vec<bool> = Vec::new();
+            let mut window_pred: Vec<bool> = Vec::new();
+            let mut window_alpha = 0.0f32;
+            let alpha_max = env
+                .alphas()
+                .iter()
+                .fold(0.0f32, |a, &b| a.max(b))
+                .max(1e-9);
+            let mut decisions = 0u32;
+            loop {
+                let action = self.agent.greedy_action(&state);
+                let t = env.step(action);
+                match self.cfg.reward_mode {
+                    RewardMode::Local { beta } => {
+                        total += local_reward(t.alpha, beta, t.has_action());
+                        count += 1;
+                    }
+                    RewardMode::Aggregate {
+                        target_accuracy,
+                        window_frames,
+                        eval_window,
+                        fastness_bonus,
+                        fp_penalty,
+                        deficit_scale,
+                        local_mix: _,
+                        beta: _,
+                    } => {
+                        window_alpha += t.alpha * t.span_len() as f32;
+                        window_gt.extend_from_slice(&t.gt);
+                        window_pred.extend_from_slice(&t.pred);
+                        decisions += 1;
+                        if window_gt.len() >= window_frames || t.done {
+                            let outcome = window_outcome(&window_gt, &window_pred, eval_window);
+                            let r = match outcome.accuracy {
+                                Some(acc) => aggregate_reward_scaled(
+                                    acc,
+                                    target_accuracy,
+                                    deficit_scale,
+                                ),
+                                None => {
+                                    let mean_alpha =
+                                        window_alpha / window_gt.len().max(1) as f32;
+                                    fastness_bonus * (mean_alpha / alpha_max)
+                                        - fp_penalty * outcome.fp_fraction as f32
+                                }
+                            };
+                            total += r * decisions as f32;
+                            count += decisions;
+                            window_gt.clear();
+                            window_pred.clear();
+                            window_alpha = 0.0;
+                            decisions = 0;
+                        }
+                    }
+                }
+                state = t.next_state;
+                if t.done {
+                    break;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            total / count as f32
+        }
+    }
+
+    /// Let callers draw reproducible randomness tied to the trainer.
+    pub fn gen_seed(&mut self) -> u64 {
+        self.rng.gen()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::DqnConfig;
+    use crate::env::test_envs::Bandit;
+
+    fn small_trainer(mode: RewardMode, seed: u64) -> DqnTrainer {
+        let agent = DqnAgent::new(
+            1,
+            2,
+            DqnConfig {
+                learning_rate: 5e-3,
+                target_sync_every: 50,
+                ..DqnConfig::default()
+            },
+            seed,
+        );
+        DqnTrainer::new(
+            agent,
+            TrainerConfig {
+                episodes: 30,
+                replay_capacity: 2_000,
+                warmup: 128,
+                batch_size: 64,
+                update_every: 1,
+                epsilon: EpsilonSchedule::new(1.0, 0.05, 1_500),
+                reward_mode: mode,
+                stratify: true,
+                seed,
+            },
+        )
+    }
+
+    #[test]
+    fn learns_bandit_with_aggregate_reward() {
+        let mode = RewardMode::Aggregate {
+            target_accuracy: 0.8,
+            window_frames: 1,
+            eval_window: 1,
+            fastness_bonus: 0.0,
+            fp_penalty: 0.0,
+            deficit_scale: 1.0,
+            local_mix: 0.0,
+            beta: 0.0,
+        };
+        let mut trainer = small_trainer(mode, 3);
+        let mut env = Bandit::new(9, 100);
+        let report = trainer.train(&mut env);
+        assert!(report.updates > 0);
+        // Greedy policy should match the context.
+        let agent = trainer.agent();
+        assert_eq!(agent.greedy_action(&[0.0]), 0);
+        assert_eq!(agent.greedy_action(&[1.0]), 1);
+    }
+
+    #[test]
+    fn learns_fastness_preference_with_local_reward() {
+        // Local reward with gt always positive: r = β - α. Action 0 has
+        // α=0.1, action 1 has α=0.9, β=0.5 → action 0 strictly better.
+        let mode = RewardMode::Local { beta: 0.5 };
+        let mut trainer = small_trainer(mode, 5);
+        let mut env = Bandit::new(2, 100);
+        let _ = trainer.train(&mut env);
+        let agent = trainer.agent();
+        assert_eq!(agent.greedy_action(&[0.0]), 0);
+        assert_eq!(agent.greedy_action(&[1.0]), 0);
+    }
+
+    #[test]
+    fn report_counts_are_consistent() {
+        let mode = RewardMode::Aggregate {
+            target_accuracy: 0.8,
+            window_frames: 4,
+            eval_window: 1,
+            fastness_bonus: 0.0,
+            fp_penalty: 0.0,
+            deficit_scale: 1.0,
+            local_mix: 0.0,
+            beta: 0.0,
+        };
+        let mut trainer = small_trainer(mode, 1);
+        let mut env = Bandit::new(1, 50);
+        let report = trainer.train(&mut env);
+        assert_eq!(report.episode_rewards.len(), 30);
+        assert_eq!(report.steps, 30 * 50);
+        assert!(report.final_reward().is_finite());
+    }
+
+    #[test]
+    fn evaluate_runs_greedy() {
+        let mode = RewardMode::Aggregate {
+            target_accuracy: 0.8,
+            window_frames: 1,
+            eval_window: 1,
+            fastness_bonus: 0.0,
+            fp_penalty: 0.0,
+            deficit_scale: 1.0,
+            local_mix: 0.0,
+            beta: 0.0,
+        };
+        let mut trainer = small_trainer(mode, 3);
+        let mut env = Bandit::new(9, 100);
+        let _ = trainer.train(&mut env);
+        let score = trainer.evaluate(&mut env, 3);
+        // A trained greedy policy mostly earns the on-target reward (0 for
+        // perfect windows, -0.8 for misses) — well above always-wrong.
+        assert!(score > -0.2, "greedy eval score {score}");
+    }
+
+    #[test]
+    fn aggregate_window_flushes_at_episode_end() {
+        // window_frames larger than the episode: everything flushes at
+        // done, so all experiences still reach the replay buffer.
+        let mode = RewardMode::Aggregate {
+            target_accuracy: 0.8,
+            window_frames: 10_000,
+            eval_window: 4,
+            fastness_bonus: 0.2,
+            fp_penalty: 2.0,
+            deficit_scale: 1.0,
+            local_mix: 0.0,
+            beta: 0.0,
+        };
+        let agent = DqnAgent::new(1, 2, DqnConfig::default(), 0);
+        let mut trainer = DqnTrainer::new(
+            agent,
+            TrainerConfig {
+                episodes: 1,
+                warmup: usize::MAX, // no updates; just collection
+                reward_mode: mode,
+                ..TrainerConfig::default()
+            },
+        );
+        let mut env = Bandit::new(4, 25);
+        let report = trainer.train(&mut env);
+        assert_eq!(report.steps, 25);
+        assert_eq!(trainer.replay_len(), 25, "all pending experiences flushed");
+    }
+}

@@ -1,0 +1,329 @@
+//! Action classes, intervals, and the per-frame oracle label function.
+//!
+//! The paper defines the oracle label function `L(n)` and its binary
+//! projection `f_X(n)` (Eq. 1, §2.1). Here an annotation is a set of
+//! half-open frame intervals tagged with an [`ActionClass`]; the binary
+//! label function for a class (or a union of classes, for the multi-class
+//! study of §6.5) is derived from them.
+
+use serde::{Deserialize, Serialize};
+
+/// The action classes used across the paper's six queries plus CrossLeft
+/// (used by the multi-class and cross-model studies, §6.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionClass {
+    /// Pedestrian crosses the street left → right (BDD100K, Figure 6).
+    CrossRight,
+    /// Pedestrian crosses the street right → left (BDD100K, §6.5).
+    CrossLeft,
+    /// Driver-POV left turn (BDD100K).
+    LeftTurn,
+    /// Pole vault (Thumos14).
+    PoleVault,
+    /// Clean-and-jerk lift (Thumos14).
+    CleanAndJerk,
+    /// Ironing clothes (ActivityNet).
+    IroningClothes,
+    /// Tennis serve (ActivityNet).
+    TennisServe,
+}
+
+impl ActionClass {
+    /// All classes, in a stable order.
+    pub const ALL: [ActionClass; 7] = [
+        ActionClass::CrossRight,
+        ActionClass::CrossLeft,
+        ActionClass::LeftTurn,
+        ActionClass::PoleVault,
+        ActionClass::CleanAndJerk,
+        ActionClass::IroningClothes,
+        ActionClass::TennisServe,
+    ];
+
+    /// Query-style name used by the SQL-ish parser (lower-kebab-case).
+    pub fn query_name(&self) -> &'static str {
+        match self {
+            ActionClass::CrossRight => "cross-right",
+            ActionClass::CrossLeft => "cross-left",
+            ActionClass::LeftTurn => "left-turn",
+            ActionClass::PoleVault => "pole-vault",
+            ActionClass::CleanAndJerk => "clean-and-jerk",
+            ActionClass::IroningClothes => "ironing-clothes",
+            ActionClass::TennisServe => "tennis-serve",
+        }
+    }
+
+    /// Parse a query-style name.
+    pub fn from_query_name(s: &str) -> Option<ActionClass> {
+        Self::ALL
+            .into_iter()
+            .find(|c| c.query_name().eq_ignore_ascii_case(s))
+    }
+
+    /// Display name as the paper prints it.
+    pub fn display_name(&self) -> &'static str {
+        match self {
+            ActionClass::CrossRight => "CrossRight",
+            ActionClass::CrossLeft => "CrossLeft",
+            ActionClass::LeftTurn => "LeftTurn",
+            ActionClass::PoleVault => "PoleVault",
+            ActionClass::CleanAndJerk => "CleanAndJerk",
+            ActionClass::IroningClothes => "IroningClothes",
+            ActionClass::TennisServe => "TennisServe",
+        }
+    }
+}
+
+impl std::fmt::Display for ActionClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+/// A labeled action occurrence: frames `[start, end)` of one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionInterval {
+    /// First frame of the action (inclusive).
+    pub start: usize,
+    /// One past the last frame of the action (exclusive).
+    pub end: usize,
+    /// The action class.
+    pub class: ActionClass,
+}
+
+impl ActionInterval {
+    /// Construct an interval; panics if `end <= start`.
+    pub fn new(start: usize, end: usize, class: ActionClass) -> Self {
+        assert!(end > start, "interval must be non-empty: [{start}, {end})");
+        ActionInterval { start, end, class }
+    }
+
+    /// Number of frames covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Intervals are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True when frame `n` lies inside the interval.
+    pub fn contains(&self, n: usize) -> bool {
+        n >= self.start && n < self.end
+    }
+
+    /// Number of frames shared with `[start, end)`.
+    pub fn overlap(&self, start: usize, end: usize) -> usize {
+        let s = self.start.max(start);
+        let e = self.end.min(end);
+        e.saturating_sub(s)
+    }
+}
+
+/// Intersection-over-union of two frame ranges `[a0, a1)` and `[b0, b1)`.
+///
+/// Returns 0.0 when either range is empty or they are disjoint. This is the
+/// IoU the paper uses to derive binary segment ground truth (§2.1).
+pub fn interval_iou(a0: usize, a1: usize, b0: usize, b1: usize) -> f64 {
+    if a1 <= a0 || b1 <= b0 {
+        return 0.0;
+    }
+    let inter = (a1.min(b1)).saturating_sub(a0.max(b0));
+    if inter == 0 {
+        return 0.0;
+    }
+    let union = (a1.max(b1)) - (a0.min(b0));
+    inter as f64 / union as f64
+}
+
+/// Build the per-frame binary label vector for a set of classes over a
+/// video of `num_frames` frames. A frame is positive when any interval of
+/// any requested class covers it — the union semantics the multi-class
+/// study (§6.5) uses ("frames belonging to either of the action classes are
+/// considered true positives").
+pub fn binary_labels(
+    intervals: &[ActionInterval],
+    classes: &[ActionClass],
+    num_frames: usize,
+) -> Vec<bool> {
+    let mut labels = vec![false; num_frames];
+    for iv in intervals {
+        if classes.contains(&iv.class) {
+            let end = iv.end.min(num_frames);
+            for l in &mut labels[iv.start.min(num_frames)..end] {
+                *l = true;
+            }
+        }
+    }
+    labels
+}
+
+/// Morphological smoothing of predicted labels: close gaps of at most
+/// `max_gap` frames between positive runs, then drop runs shorter than
+/// `min_run` frames.
+///
+/// Standard temporal-action-localization post-processing: a detector that
+/// misses one interior window should not have an action counted as two
+/// fragments, and an isolated one-window blip should not count as a
+/// detected event.
+pub fn smooth_labels(labels: &[bool], max_gap: usize, min_run: usize) -> Vec<bool> {
+    let mut out = labels.to_vec();
+    // Close small gaps.
+    if max_gap > 0 {
+        let runs = runs_from_labels(&out);
+        for pair in runs.windows(2) {
+            let (_, prev_end) = pair[0];
+            let (next_start, _) = pair[1];
+            if next_start - prev_end <= max_gap {
+                for l in &mut out[prev_end..next_start] {
+                    *l = true;
+                }
+            }
+        }
+    }
+    // Drop short runs.
+    if min_run > 1 {
+        for (s, e) in runs_from_labels(&out) {
+            if e - s < min_run {
+                for l in &mut out[s..e] {
+                    *l = false;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Extract maximal contiguous positive runs from a binary label vector —
+/// the inverse of [`binary_labels`], used to turn per-frame predictions
+/// back into output segments.
+pub fn runs_from_labels(labels: &[bool]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut start = None;
+    for (i, &l) in labels.iter().enumerate() {
+        match (l, start) {
+            (true, None) => start = Some(i),
+            (false, Some(s)) => {
+                runs.push((s, i));
+                start = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = start {
+        runs.push((s, labels.len()));
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_names_roundtrip() {
+        for c in ActionClass::ALL {
+            assert_eq!(ActionClass::from_query_name(c.query_name()), Some(c));
+        }
+        assert_eq!(ActionClass::from_query_name("LEFT-TURN"), Some(ActionClass::LeftTurn));
+        assert_eq!(ActionClass::from_query_name("jumping"), None);
+    }
+
+    #[test]
+    fn interval_basics() {
+        let iv = ActionInterval::new(10, 20, ActionClass::CrossRight);
+        assert_eq!(iv.len(), 10);
+        assert!(iv.contains(10));
+        assert!(iv.contains(19));
+        assert!(!iv.contains(20));
+        assert_eq!(iv.overlap(15, 30), 5);
+        assert_eq!(iv.overlap(0, 10), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be non-empty")]
+    fn empty_interval_panics() {
+        let _ = ActionInterval::new(5, 5, ActionClass::LeftTurn);
+    }
+
+    #[test]
+    fn iou_hand_values() {
+        assert_eq!(interval_iou(0, 10, 0, 10), 1.0);
+        assert_eq!(interval_iou(0, 10, 5, 15), 5.0 / 15.0);
+        assert_eq!(interval_iou(0, 5, 5, 10), 0.0);
+        assert_eq!(interval_iou(0, 0, 0, 10), 0.0);
+    }
+
+    #[test]
+    fn iou_symmetry() {
+        let a = interval_iou(3, 9, 5, 20);
+        let b = interval_iou(5, 20, 3, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn binary_labels_union_semantics() {
+        let ivs = vec![
+            ActionInterval::new(2, 4, ActionClass::CrossRight),
+            ActionInterval::new(6, 8, ActionClass::CrossLeft),
+            ActionInterval::new(3, 5, ActionClass::LeftTurn),
+        ];
+        // Only CrossRight + CrossLeft requested.
+        let labels = binary_labels(&ivs, &[ActionClass::CrossRight, ActionClass::CrossLeft], 10);
+        let want = [false, false, true, true, false, false, true, true, false, false];
+        assert_eq!(labels, want);
+    }
+
+    #[test]
+    fn binary_labels_clamps_to_video_end() {
+        let ivs = vec![ActionInterval::new(8, 20, ActionClass::CrossRight)];
+        let labels = binary_labels(&ivs, &[ActionClass::CrossRight], 10);
+        assert_eq!(labels[7], false);
+        assert_eq!(labels[8], true);
+        assert_eq!(labels[9], true);
+        assert_eq!(labels.len(), 10);
+    }
+
+    #[test]
+    fn runs_roundtrip() {
+        let labels = vec![false, true, true, false, true, false, false, true];
+        assert_eq!(runs_from_labels(&labels), vec![(1, 3), (4, 5), (7, 8)]);
+        assert_eq!(runs_from_labels(&[]), vec![]);
+        assert_eq!(runs_from_labels(&[true, true]), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn smoothing_closes_small_gaps() {
+        let labels = vec![true, true, false, false, true, true, false, true];
+        let out = smooth_labels(&labels, 2, 0);
+        // Gaps of 2 and 1 both close into one run.
+        assert_eq!(runs_from_labels(&out), vec![(0, 8)]);
+        // A max_gap of 1 closes only the single-frame gap.
+        let out = smooth_labels(&labels, 1, 0);
+        assert_eq!(runs_from_labels(&out), vec![(0, 2), (4, 8)]);
+    }
+
+    #[test]
+    fn smoothing_drops_short_runs() {
+        let labels = vec![true, false, false, true, true, true, false, true];
+        let out = smooth_labels(&labels, 0, 2);
+        assert_eq!(runs_from_labels(&out), vec![(3, 6)]);
+    }
+
+    #[test]
+    fn smoothing_gap_close_precedes_drop() {
+        // Two 2-frame fragments with a 1-frame gap: closing first makes a
+        // 5-frame run that survives a min_run of 4.
+        let labels = vec![true, true, false, true, true];
+        let out = smooth_labels(&labels, 1, 4);
+        assert_eq!(runs_from_labels(&out), vec![(0, 5)]);
+    }
+
+    #[test]
+    fn smoothing_noop_parameters() {
+        let labels = vec![true, false, true];
+        assert_eq!(smooth_labels(&labels, 0, 0), labels);
+        assert_eq!(smooth_labels(&labels, 0, 1), labels);
+    }
+}

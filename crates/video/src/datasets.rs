@@ -1,0 +1,477 @@
+//! Synthetic dataset generators matched to the paper's Table 3.
+//!
+//! Table 3 characterises the three evaluation corpora:
+//!
+//! | Dataset | Classes | Frames (K) | % action | mean len | std | (min, max) |
+//! |---|---|---|---|---|---|---|
+//! | BDD100K | 2 | 186 | 7.03 | 115 | 58.7 | (6, 305) |
+//! | Thumos14 | 2 | 645 | 40.27 | 211 | 186.3 | (18, 3543) |
+//! | ActivityNet | 2 | 633 | 56.37 | 909 | 1239.1 | (20, 6931) |
+//!
+//! Action lengths are drawn from a log-normal fitted to the (mean, std)
+//! pair and clamped to (min, max); inter-action gaps are exponential with
+//! mean chosen so the expected action fraction matches the table. Each
+//! interval is assigned a class from the dataset's class mix. BDD100K also
+//! carries CrossLeft annotations (≈3% extra) because §6.5/§6.6 need them;
+//! Table 3 statistics are always computed over the two *query* classes
+//! only, matching how the paper counts.
+//!
+//! Cityscapes and KITTI (domain-adaptation targets, §6.6) are modeled as
+//! driving corpora with BDD-like statistics but different scene seeds and
+//! action mixes; KITTI has **no CrossRight instances** ("no available
+//! action instances for this class in the KITTI dataset", §6.6).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::annotation::{ActionClass, ActionInterval};
+use crate::scene::mix2;
+use crate::video::{Video, VideoId, VideoStore};
+
+/// The corpora used in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// 200-video BDD100K driving subset (§6.1), 40 s dash-cam clips.
+    Bdd100k,
+    /// Thumos14 untrimmed sports videos.
+    Thumos14,
+    /// ActivityNet untrimmed activity videos.
+    ActivityNet,
+    /// Cityscapes driving scenes (Frankfurt) — §6.6 transfer target.
+    Cityscapes,
+    /// KITTI residential driving scenes (Karlsruhe) — §6.6 transfer target.
+    Kitti,
+}
+
+impl DatasetKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [DatasetKind; 5] = [
+        DatasetKind::Bdd100k,
+        DatasetKind::Thumos14,
+        DatasetKind::ActivityNet,
+        DatasetKind::Cityscapes,
+        DatasetKind::Kitti,
+    ];
+
+    /// Name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Bdd100k => "BDD100K",
+            DatasetKind::Thumos14 => "Thumos14",
+            DatasetKind::ActivityNet => "ActivityNet",
+            DatasetKind::Cityscapes => "Cityscapes",
+            DatasetKind::Kitti => "KITTI",
+        }
+    }
+
+    /// The two action classes the paper queries on this dataset
+    /// (Table 3 counts exactly these).
+    pub fn query_classes(&self) -> [ActionClass; 2] {
+        match self {
+            DatasetKind::Bdd100k | DatasetKind::Cityscapes => {
+                [ActionClass::CrossRight, ActionClass::LeftTurn]
+            }
+            // KITTI is evaluated on LeftTurn only (no CrossRight
+            // instances); CrossLeft fills the second slot for stats.
+            DatasetKind::Kitti => [ActionClass::LeftTurn, ActionClass::CrossLeft],
+            DatasetKind::Thumos14 => [ActionClass::PoleVault, ActionClass::CleanAndJerk],
+            DatasetKind::ActivityNet => {
+                [ActionClass::IroningClothes, ActionClass::TennisServe]
+            }
+        }
+    }
+
+    /// Generation profile at corpus `scale` (1.0 = paper size).
+    pub fn profile(&self, scale: f64) -> DatasetProfile {
+        assert!(scale > 0.0, "scale must be positive");
+        let scaled = |n: usize| ((n as f64 * scale).round() as usize).max(4);
+        match self {
+            DatasetKind::Bdd100k => DatasetProfile {
+                kind: *self,
+                num_videos: scaled(200),
+                frames_per_video: 930,
+                fps: 30.0,
+                // CrossRight + LeftTurn target 7.03%; CrossLeft adds ~3%
+                // for the §6.5 studies without affecting Table 3.
+                class_mix: vec![
+                    (ActionClass::CrossRight, 0.0350),
+                    (ActionClass::LeftTurn, 0.0353),
+                    (ActionClass::CrossLeft, 0.0300),
+                ],
+                mean_len: 115.0,
+                std_len: 58.7,
+                min_len: 6,
+                max_len: 305,
+            },
+            DatasetKind::Thumos14 => DatasetProfile {
+                kind: *self,
+                num_videos: scaled(100),
+                frames_per_video: 6450,
+                fps: 30.0,
+                class_mix: vec![
+                    (ActionClass::PoleVault, 0.2010),
+                    (ActionClass::CleanAndJerk, 0.2017),
+                ],
+                mean_len: 211.0,
+                std_len: 186.3,
+                min_len: 18,
+                max_len: 3543,
+            },
+            DatasetKind::ActivityNet => DatasetProfile {
+                kind: *self,
+                num_videos: scaled(100),
+                frames_per_video: 6330,
+                fps: 30.0,
+                // Targets are inflated ~17% over Table 3's 28.2% per class:
+                // with mean length 909 on 6330-frame videos, end-of-video
+                // truncation and max-length clamping lose that much density
+                // (verified empirically; the realised fraction matches 56.37%).
+                class_mix: vec![
+                    (ActionClass::IroningClothes, 0.3295),
+                    (ActionClass::TennisServe, 0.3290),
+                ],
+                mean_len: 909.0,
+                std_len: 1239.1,
+                min_len: 20,
+                max_len: 6931,
+            },
+            DatasetKind::Cityscapes => DatasetProfile {
+                kind: *self,
+                num_videos: scaled(60),
+                frames_per_video: 930,
+                fps: 30.0,
+                class_mix: vec![
+                    (ActionClass::CrossRight, 0.0310),
+                    (ActionClass::LeftTurn, 0.0330),
+                    (ActionClass::CrossLeft, 0.0280),
+                ],
+                mean_len: 108.0,
+                std_len: 55.0,
+                min_len: 6,
+                max_len: 290,
+            },
+            DatasetKind::Kitti => DatasetProfile {
+                kind: *self,
+                num_videos: scaled(60),
+                frames_per_video: 930,
+                fps: 30.0,
+                // Residential streets: no CrossRight at all.
+                class_mix: vec![
+                    (ActionClass::LeftTurn, 0.0330),
+                    (ActionClass::CrossLeft, 0.0290),
+                ],
+                mean_len: 122.0,
+                std_len: 62.0,
+                min_len: 6,
+                max_len: 310,
+            },
+        }
+    }
+
+    /// Generate a corpus at `scale` with a fixed `seed`.
+    pub fn generate(&self, scale: f64, seed: u64) -> SyntheticDataset {
+        self.profile(scale).generate(seed)
+    }
+}
+
+impl std::fmt::Display for DatasetKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Generation parameters for one corpus.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Which corpus this profiles.
+    pub kind: DatasetKind,
+    /// Number of videos to generate.
+    pub num_videos: usize,
+    /// Frames per video.
+    pub frames_per_video: usize,
+    /// Capture rate.
+    pub fps: f64,
+    /// `(class, target action-frame fraction)` pairs; fractions sum to the
+    /// corpus-wide action density.
+    pub class_mix: Vec<(ActionClass, f64)>,
+    /// Target mean action length (frames).
+    pub mean_len: f64,
+    /// Target std of action length.
+    pub std_len: f64,
+    /// Shortest permissible action.
+    pub min_len: usize,
+    /// Longest permissible action.
+    pub max_len: usize,
+}
+
+impl DatasetProfile {
+    /// Total action-frame fraction across all annotated classes.
+    pub fn total_fraction(&self) -> f64 {
+        self.class_mix.iter().map(|(_, f)| f).sum()
+    }
+
+    /// Generate the corpus.
+    pub fn generate(&self, seed: u64) -> SyntheticDataset {
+        let mut videos = Vec::with_capacity(self.num_videos);
+        for i in 0..self.num_videos {
+            let vseed = mix2(seed, i as u64);
+            videos.push(self.generate_video(VideoId(i as u32), vseed));
+        }
+        SyntheticDataset {
+            profile: self.clone(),
+            store: VideoStore::new(videos),
+        }
+    }
+
+    fn generate_video(&self, id: VideoId, seed: u64) -> Video {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let p = self.total_fraction();
+        let mean_gap = self.mean_len * (1.0 - p) / p.max(1e-9);
+        // Log-normal parameters matching the (mean, std) pair.
+        let cv2 = (self.std_len / self.mean_len).powi(2);
+        let sigma = (1.0 + cv2).ln().sqrt();
+        let mu = self.mean_len.ln() - sigma * sigma / 2.0;
+
+        let weights: Vec<f64> = {
+            let total: f64 = self.class_mix.iter().map(|(_, f)| f).sum();
+            self.class_mix.iter().map(|(_, f)| f / total).collect()
+        };
+
+        let mut intervals = Vec::new();
+        let mut cursor = 0usize;
+        loop {
+            // Exponential gap (memoryless, so starting mid-gap is fine).
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            let gap = (-mean_gap * u.ln()).round() as usize;
+            cursor = cursor.saturating_add(gap.max(1));
+            if cursor >= self.frames_per_video {
+                break;
+            }
+            // Log-normal action length, clamped to the table's (min, max).
+            let z = normal(&mut rng);
+            let len = (mu + sigma * z).exp().round() as usize;
+            let len = len.clamp(self.min_len, self.max_len);
+            let end = cursor + len;
+            if end > self.frames_per_video {
+                // Keep a truncated tail action only if it stays valid.
+                let end = self.frames_per_video;
+                if end - cursor >= self.min_len {
+                    let class = pick_class(&self.class_mix, &weights, &mut rng);
+                    intervals.push(ActionInterval::new(cursor, end, class));
+                }
+                break;
+            }
+            let class = pick_class(&self.class_mix, &weights, &mut rng);
+            intervals.push(ActionInterval::new(cursor, end, class));
+            cursor = end + 1;
+        }
+
+        Video {
+            id,
+            num_frames: self.frames_per_video,
+            fps: self.fps,
+            seed,
+            intervals,
+        }
+    }
+}
+
+fn pick_class(
+    mix: &[(ActionClass, f64)],
+    weights: &[f64],
+    rng: &mut impl Rng,
+) -> ActionClass {
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for ((class, _), w) in mix.iter().zip(weights.iter()) {
+        acc += w;
+        if u <= acc {
+            return *class;
+        }
+    }
+    mix.last().expect("class mix must be non-empty").0
+}
+
+/// Standard normal via Box–Muller.
+fn normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// A generated corpus: its profile plus the videos.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SyntheticDataset {
+    /// The profile it was generated from.
+    pub profile: DatasetProfile,
+    /// The videos.
+    pub store: VideoStore,
+}
+
+impl SyntheticDataset {
+    /// Which corpus this is.
+    pub fn kind(&self) -> DatasetKind {
+        self.profile.kind
+    }
+
+    /// The two query classes of this corpus.
+    pub fn query_classes(&self) -> [ActionClass; 2] {
+        self.profile.kind.query_classes()
+    }
+
+    /// Convenience: generate the paper-sized corpus.
+    pub fn paper_scale(kind: DatasetKind, seed: u64) -> Self {
+        kind.generate(1.0, seed)
+    }
+
+    /// Convenience: generate a reduced corpus for fast experimentation.
+    pub fn bench_scale(kind: DatasetKind, seed: u64) -> Self {
+        kind.generate(0.12, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::DatasetStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DatasetKind::Bdd100k.generate(0.05, 42);
+        let b = DatasetKind::Bdd100k.generate(0.05, 42);
+        assert_eq!(a.store.total_frames(), b.store.total_frames());
+        for (va, vb) in a.store.videos().iter().zip(b.store.videos()) {
+            assert_eq!(va.intervals, vb.intervals);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DatasetKind::Bdd100k.generate(0.05, 1);
+        let b = DatasetKind::Bdd100k.generate(0.05, 2);
+        let ia: usize = a.store.videos().iter().map(|v| v.intervals.len()).sum();
+        let ib: usize = b.store.videos().iter().map(|v| v.intervals.len()).sum();
+        // Same expected counts but different realisations.
+        let same_everywhere = a
+            .store
+            .videos()
+            .iter()
+            .zip(b.store.videos())
+            .all(|(x, y)| x.intervals == y.intervals);
+        assert!(!same_everywhere || ia != ib);
+    }
+
+    #[test]
+    fn bdd_matches_table3_shape() {
+        let ds = DatasetKind::Bdd100k.generate(1.0, 7);
+        let stats = DatasetStats::compute(&ds.store, &ds.query_classes());
+        // Table 3: 186K frames, 7.03% action, mean 115 std 58.7, (6, 305).
+        assert_eq!(ds.store.total_frames(), 186_000);
+        assert!(
+            (stats.action_fraction - 0.0703).abs() < 0.015,
+            "action fraction {}",
+            stats.action_fraction
+        );
+        assert!(
+            (stats.mean_len - 115.0).abs() < 20.0,
+            "mean len {}",
+            stats.mean_len
+        );
+        assert!(stats.min_len >= 6);
+        assert!(stats.max_len <= 305);
+    }
+
+    #[test]
+    fn thumos_matches_table3_shape() {
+        let ds = DatasetKind::Thumos14.generate(0.3, 7);
+        let stats = DatasetStats::compute(&ds.store, &ds.query_classes());
+        assert!(
+            (stats.action_fraction - 0.4027).abs() < 0.06,
+            "action fraction {}",
+            stats.action_fraction
+        );
+        assert!(
+            (stats.mean_len - 211.0).abs() < 45.0,
+            "mean len {}",
+            stats.mean_len
+        );
+        assert!(stats.min_len >= 18);
+        assert!(stats.max_len <= 3543);
+    }
+
+    #[test]
+    fn activitynet_matches_table3_shape() {
+        let ds = DatasetKind::ActivityNet.generate(0.3, 7);
+        let stats = DatasetStats::compute(&ds.store, &ds.query_classes());
+        assert!(
+            (stats.action_fraction - 0.5637).abs() < 0.08,
+            "action fraction {}",
+            stats.action_fraction
+        );
+        // ActivityNet's length distribution is heavy-tailed (std > mean);
+        // clamping at 6931 biases the sample mean down, so allow more slack.
+        assert!(
+            (stats.mean_len - 909.0).abs() < 250.0,
+            "mean len {}",
+            stats.mean_len
+        );
+        assert!(stats.std_len > stats.mean_len * 0.6, "should be heavy-tailed");
+    }
+
+    #[test]
+    fn kitti_has_no_cross_right() {
+        let ds = DatasetKind::Kitti.generate(0.5, 9);
+        let any_cross_right = ds
+            .store
+            .videos()
+            .iter()
+            .flat_map(|v| &v.intervals)
+            .any(|iv| iv.class == ActionClass::CrossRight);
+        assert!(!any_cross_right, "KITTI must not contain CrossRight (§6.6)");
+    }
+
+    #[test]
+    fn bdd_contains_cross_left_for_multiclass_study() {
+        let ds = DatasetKind::Bdd100k.generate(0.2, 11);
+        let any_cross_left = ds
+            .store
+            .videos()
+            .iter()
+            .flat_map(|v| &v.intervals)
+            .any(|iv| iv.class == ActionClass::CrossLeft);
+        assert!(any_cross_left, "BDD must carry CrossLeft annotations (§6.5)");
+    }
+
+    #[test]
+    fn intervals_are_sorted_and_disjoint() {
+        let ds = DatasetKind::Thumos14.generate(0.05, 3);
+        for v in ds.store.videos() {
+            for pair in v.intervals.windows(2) {
+                assert!(
+                    pair[0].end < pair[1].start,
+                    "intervals must be disjoint and ordered"
+                );
+            }
+            for iv in &v.intervals {
+                assert!(iv.end <= v.num_frames, "interval exceeds video");
+            }
+        }
+    }
+
+    #[test]
+    fn scale_controls_video_count() {
+        let full = DatasetKind::Bdd100k.profile(1.0);
+        let small = DatasetKind::Bdd100k.profile(0.1);
+        assert_eq!(full.num_videos, 200);
+        assert_eq!(small.num_videos, 20);
+        assert_eq!(full.frames_per_video, small.frames_per_video);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be positive")]
+    fn zero_scale_panics() {
+        let _ = DatasetKind::Bdd100k.profile(0.0);
+    }
+}

@@ -1,0 +1,140 @@
+//! Video frames: square RGB pixel buffers.
+
+use bytes::Bytes;
+
+/// A single square RGB frame.
+///
+/// Pixels are stored row-major, 3 bytes per pixel (R, G, B), in a
+/// reference-counted [`Bytes`] buffer so frames can be cloned cheaply when
+/// they flow through segment extraction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    resolution: usize,
+    pixels: Bytes,
+}
+
+impl Frame {
+    /// Number of bytes per pixel (RGB).
+    pub const CHANNELS: usize = 3;
+
+    /// Construct a frame from a raw pixel buffer.
+    ///
+    /// Panics unless `pixels.len() == resolution * resolution * 3`.
+    pub fn new(resolution: usize, pixels: Vec<u8>) -> Self {
+        assert_eq!(
+            pixels.len(),
+            resolution * resolution * Self::CHANNELS,
+            "pixel buffer size mismatch for resolution {resolution}"
+        );
+        Frame {
+            resolution,
+            pixels: Bytes::from(pixels),
+        }
+    }
+
+    /// A black frame.
+    pub fn black(resolution: usize) -> Self {
+        Frame::new(resolution, vec![0; resolution * resolution * Self::CHANNELS])
+    }
+
+    /// Side length in pixels (frames are square, matching the paper's
+    /// "square-shaped frames with equal height and width", §3).
+    pub fn resolution(&self) -> usize {
+        self.resolution
+    }
+
+    /// Raw pixel bytes (row-major RGB).
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// Read pixel `(x, y)` as an `[r, g, b]` triple.
+    pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
+        assert!(x < self.resolution && y < self.resolution, "pixel out of bounds");
+        let i = (y * self.resolution + x) * Self::CHANNELS;
+        [self.pixels[i], self.pixels[i + 1], self.pixels[i + 2]]
+    }
+
+    /// Convert to normalized `f32` channel-planar data `[3, H, W]` in
+    /// `[0, 1]` — the layout the 3D-CNN consumes.
+    pub fn to_chw_f32(&self) -> Vec<f32> {
+        let r = self.resolution;
+        let mut out = vec![0.0f32; Self::CHANNELS * r * r];
+        for y in 0..r {
+            for x in 0..r {
+                let i = (y * r + x) * Self::CHANNELS;
+                for c in 0..Self::CHANNELS {
+                    out[c * r * r + y * r + x] = self.pixels[i + c] as f32 / 255.0;
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean luminance in `[0, 1]` (cheap content summary used in tests).
+    pub fn mean_luminance(&self) -> f32 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        let sum: u64 = self.pixels.iter().map(|&b| b as u64).sum();
+        sum as f32 / (self.pixels.len() as f32 * 255.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn black_frame_has_zero_luminance() {
+        let f = Frame::black(8);
+        assert_eq!(f.resolution(), 8);
+        assert_eq!(f.mean_luminance(), 0.0);
+    }
+
+    #[test]
+    fn pixel_accessor_roundtrip() {
+        let mut px = vec![0u8; 4 * 4 * 3];
+        // Set pixel (1, 2) to (10, 20, 30).
+        let i = (2 * 4 + 1) * 3;
+        px[i] = 10;
+        px[i + 1] = 20;
+        px[i + 2] = 30;
+        let f = Frame::new(4, px);
+        assert_eq!(f.pixel(1, 2), [10, 20, 30]);
+        assert_eq!(f.pixel(0, 0), [0, 0, 0]);
+    }
+
+    #[test]
+    fn chw_layout() {
+        let mut px = vec![0u8; 2 * 2 * 3];
+        px[0] = 255; // R of pixel (0,0)
+        let f = Frame::new(2, px);
+        let chw = f.to_chw_f32();
+        assert_eq!(chw.len(), 12);
+        assert!((chw[0] - 1.0).abs() < 1e-6); // R plane, first element
+        assert_eq!(chw[4], 0.0); // G plane
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel buffer size mismatch")]
+    fn wrong_buffer_size_panics() {
+        let _ = Frame::new(4, vec![0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pixel out of bounds")]
+    fn out_of_bounds_pixel_panics() {
+        let f = Frame::black(2);
+        let _ = f.pixel(2, 0);
+    }
+
+    #[test]
+    fn clone_is_cheap_and_equal() {
+        let f = Frame::black(16);
+        let g = f.clone();
+        assert_eq!(f, g);
+        // Bytes clones share the buffer; pointer equality of the slices.
+        assert_eq!(f.pixels().as_ptr(), g.pixels().as_ptr());
+    }
+}

@@ -1,0 +1,42 @@
+//! # zeus-video
+//!
+//! Synthetic video substrate for the Zeus reproduction.
+//!
+//! The paper evaluates on three real corpora — a 200-video subset of
+//! BDD100K (manually annotated with CrossRight / LeftTurn), Thumos14
+//! (PoleVault / CleanAndJerk), and ActivityNet (IroningClothes /
+//! TennisServe) — plus Cityscapes and KITTI for the domain-adaptation study
+//! (§6.6). Those corpora (and the manual BDD annotations) are not
+//! redistributable, and decoding real video is orthogonal to the system
+//! under study, so this crate provides a *procedural* substitute:
+//!
+//! * [`scene`] — a deterministic scene model (entities with trajectories)
+//!   that can rasterize any frame at any resolution, so the real 3D-CNN
+//!   path (`zeus-apfg::r3d_lite`) has actual pixels to convolve.
+//! * [`annotation`] — per-frame oracle labels `L(n)` (the paper's Eq. 1)
+//!   derived from action intervals, plus IoU helpers.
+//! * [`datasets`] — generators parameterized to match the paper's Table 3
+//!   statistics (action percentage, mean/std/min/max action length) for
+//!   each corpus, at a configurable scale factor.
+//! * [`stats`] — recomputes Table 3 from a generated corpus.
+//! * [`segment`] — applies a `(resolution, segment length, sampling rate)`
+//!   configuration to extract model inputs, the executor's data path.
+//!
+//! Determinism: a corpus is fully determined by `(DatasetKind, scale,
+//! seed)`; every frame of every video can be regenerated independently.
+
+
+#![warn(missing_docs)]
+pub mod annotation;
+pub mod datasets;
+pub mod frame;
+pub mod scene;
+pub mod segment;
+pub mod stats;
+pub mod video;
+
+pub use annotation::{ActionClass, ActionInterval};
+pub use datasets::{DatasetKind, SyntheticDataset};
+pub use frame::Frame;
+pub use segment::{Segment, SegmentTensor};
+pub use video::{Video, VideoId, VideoStore};

@@ -1,0 +1,76 @@
+//! Five-minute tour of the Zeus public API.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Parses a SQL-ish action query, generates a small synthetic driving
+//! corpus, plans the query (profiles configurations, trains the DQN
+//! agent), executes it with the RL executor, and prints the localized
+//! segments.
+
+use zeus::core::baselines::QueryEngine;
+use zeus::core::planner::{PlannerOptions, QueryPlanner};
+use zeus::core::query::parse_query;
+use zeus::core::ExecutorKind;
+use zeus::video::video::Split;
+use zeus::video::DatasetKind;
+
+fn main() {
+    // 1. The paper's §1 query, verbatim dialect.
+    let query = parse_query(
+        "SELECT segment_ids FROM UDF(video) \
+         WHERE action_class = 'cross-right' AND accuracy >= 85%",
+    )
+    .expect("valid action query");
+    println!("query: {}", query.to_sql());
+
+    // 2. A small synthetic BDD100K-like corpus (see zeus-video).
+    let dataset = DatasetKind::Bdd100k.generate(0.4, 42);
+    println!(
+        "corpus: {} videos, {} frames",
+        dataset.store.len(),
+        dataset.store.total_frames()
+    );
+
+    // 3. Plan: profile 64 configurations, pick the static config, train
+    //    the DQN agent with accuracy-aware aggregate rewards.
+    let planner = QueryPlanner::new(&dataset, PlannerOptions::default());
+    let plan = planner.plan(&query);
+    println!(
+        "planned: {} Pareto configs, sliding config {}, max accuracy {:.2}",
+        plan.space.len(),
+        plan.sliding_config,
+        plan.max_accuracy
+    );
+
+    // 4. Execute with the RL executor on the test split.
+    let engines = planner.build_engines(&plan);
+    let test = dataset.store.split(Split::Test);
+    let exec = engines.zeus_rl.execute(&test);
+    let report = exec.evaluate(&test, &query.classes, plan.protocol);
+
+    println!(
+        "\n{}: F1 {:.3} (P {:.2} / R {:.2}) at {:.0} fps over {} frames",
+        ExecutorKind::ZeusRl,
+        report.f1(),
+        report.precision(),
+        report.recall(),
+        exec.throughput(),
+        exec.total_frames()
+    );
+
+    // 5. The query's answer: localized segments.
+    let mut shown = 0;
+    println!("\nlocalized segments (video, start..end):");
+    for (video, segments) in exec.output_segments() {
+        for (s, e) in segments {
+            println!("  {:?}  {s:>6}..{e:<6}", video);
+            shown += 1;
+            if shown >= 10 {
+                println!("  ...");
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Traffic-analytics scenario: the paper's motivating use case (§1).
+//!
+//! ```text
+//! cargo run --release --example traffic_analytics
+//! ```
+//!
+//! A traffic analyst wants every pedestrian left-to-right crossing and
+//! every left turn from a dash-cam corpus, at 85% accuracy, as fast as
+//! possible. This example plans both queries and compares all five
+//! §6.1 techniques head-to-head, reproducing the Figure 8 layout for
+//! BDD100K.
+
+use zeus::core::baselines::QueryEngine;
+use zeus::core::planner::{PlannerOptions, QueryPlanner};
+use zeus::core::query::ActionQuery;
+use zeus::video::video::Split;
+use zeus::video::{ActionClass, DatasetKind};
+
+fn main() {
+    let dataset = DatasetKind::Bdd100k.generate(0.2, 7);
+    println!(
+        "BDD100K-like corpus: {} videos / {} frames\n",
+        dataset.store.len(),
+        dataset.store.total_frames()
+    );
+
+    for class in [ActionClass::CrossRight, ActionClass::LeftTurn] {
+        let query = ActionQuery::new(class, 0.85);
+        println!("=== {} (target {:.0}%) ===", class, query.target_accuracy * 100.0);
+
+        let planner = QueryPlanner::new(&dataset, PlannerOptions::default());
+        let plan = planner.plan(&query);
+        let engines = planner.build_engines(&plan);
+        let test = dataset.store.split(Split::Test);
+
+        let runs: Vec<(&str, zeus::core::ExecutionResult)> = vec![
+            ("Frame-PP", engines.frame_pp.execute(&test)),
+            ("Segment-PP", engines.segment_pp.execute(&test)),
+            ("Zeus-Sliding", engines.sliding.execute(&test)),
+            ("Zeus-Heuristic", engines.heuristic.execute(&test)),
+            ("Zeus-RL", engines.zeus_rl.execute(&test)),
+        ];
+        println!("{:<15} {:>6} {:>6} {:>6} {:>9}", "method", "F1", "P", "R", "fps");
+        for (name, exec) in runs {
+            let r = exec.evaluate(&test, &query.classes, plan.protocol);
+            println!(
+                "{name:<15} {:>6.3} {:>6.2} {:>6.2} {:>9.0}",
+                r.f1(),
+                r.precision(),
+                r.recall(),
+                exec.throughput()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading guide: Zeus-RL should sit top-right — near the accuracy of\n\
+         Zeus-Sliding at a multiple of its throughput, while Frame-PP is slow\n\
+         AND inaccurate on these temporal classes (motion direction is\n\
+         invisible in single frames)."
+    );
+}

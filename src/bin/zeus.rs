@@ -1,0 +1,229 @@
+//! `zeus` — command-line front end for the Zeus VDBMS reproduction.
+//!
+//! ```text
+//! zeus datasets
+//! zeus plan  --dataset bdd100k --sql "SELECT segment_ids FROM UDF(video) \
+//!            WHERE action_class = 'cross-right' AND accuracy >= 85%" \
+//!            --catalog ./plans [--scale 0.3] [--seed 42]
+//! zeus query --dataset bdd100k --sql "..." [--catalog ./plans] \
+//!            [--method zeus-rl|zeus-sliding|all] [--scale 0.3]
+//! ```
+//!
+//! `plan` trains and stores a plan in the catalog; `query` executes (loading
+//! the stored plan when present, planning on the fly otherwise) and prints
+//! the localized segments plus accuracy/throughput.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use zeus::core::baselines::QueryEngine;
+use zeus::core::catalog::PlanCatalog;
+use zeus::core::planner::{PlannerOptions, QueryPlanner};
+use zeus::core::query::{parse_query, ActionQuery};
+use zeus::sim::CostModel;
+use zeus::video::stats::DatasetStats;
+use zeus::video::video::Split;
+use zeus::video::DatasetKind;
+
+fn usage() -> &'static str {
+    "usage:\n  zeus datasets\n  zeus plan  --dataset <name> --sql <query> --catalog <dir> [--scale S] [--seed N]\n  zeus query --dataset <name> --sql <query> [--catalog <dir>] [--method M] [--scale S] [--seed N]\n\ndatasets: bdd100k thumos14 activitynet cityscapes kitti\nmethods:  zeus-rl (default) | zeus-sliding | all"
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let key = args[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
+        let value = args
+            .get(i + 1)
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    Ok(flags)
+}
+
+fn dataset_kind(name: &str) -> Result<DatasetKind, String> {
+    DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name().eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown dataset '{name}' (try: bdd100k, thumos14, ...)"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().map(String::as_str).ok_or("missing command")?;
+    match command {
+        "datasets" => cmd_datasets(),
+        "plan" => cmd_plan(&parse_flags(&args[1..])?),
+        "query" => cmd_query(&parse_flags(&args[1..])?),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    println!(
+        "{:<12} {:>8} {:>9} {:>8} {:>8}  query classes",
+        "dataset", "videos", "frames", "%action", "meanlen"
+    );
+    for kind in DatasetKind::ALL {
+        let ds = kind.generate(0.1, 7);
+        let stats = DatasetStats::compute(&ds.store, &kind.query_classes());
+        println!(
+            "{:<12} {:>8} {:>9} {:>7.2}% {:>8.0}  {} / {}",
+            kind.name().to_lowercase(),
+            ds.store.len(),
+            ds.store.total_frames(),
+            stats.action_fraction * 100.0,
+            stats.mean_len,
+            kind.query_classes()[0].display_name(),
+            kind.query_classes()[1].display_name(),
+        );
+    }
+    println!("\n(listed at scale 0.1; --scale selects corpus size, 1.0 = paper scale)");
+    Ok(())
+}
+
+fn parse_common(
+    flags: &HashMap<String, String>,
+) -> Result<(DatasetKind, ActionQuery, f64, u64), String> {
+    let kind = dataset_kind(flags.get("dataset").ok_or("--dataset is required")?)?;
+    let sql = flags.get("sql").ok_or("--sql is required")?;
+    let query = parse_query(sql).map_err(|e| e.to_string())?;
+    let scale: f64 = flags
+        .get("scale")
+        .map(|s| s.parse().map_err(|_| format!("bad --scale '{s}'")))
+        .transpose()?
+        .unwrap_or(0.3);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
+        .transpose()?
+        .unwrap_or(2022);
+    Ok((kind, query, scale, seed))
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (kind, query, scale, seed) = parse_common(flags)?;
+    let catalog_dir = flags.get("catalog").ok_or("--catalog is required")?;
+    let catalog = PlanCatalog::open(catalog_dir).map_err(|e| e.to_string())?;
+
+    eprintln!("generating {} corpus at scale {scale}...", kind.name());
+    let dataset = kind.generate(scale, seed);
+    let mut options = PlannerOptions::default();
+    options.seed = seed;
+    eprintln!("planning (profiling {} configurations + RL training)...", {
+        zeus::core::ConfigSpace::for_dataset(kind).len()
+    });
+    let planner = QueryPlanner::new(&dataset, options);
+    let plan = planner.plan(&query);
+    let path = catalog.save(&plan, seed).map_err(|e| e.to_string())?;
+    println!(
+        "plan saved: {}\n  sliding config {}  max accuracy {:.3}\n  action space: {} configurations\n  simulated training cost: APFG {:.1}s + RL {:.1}s",
+        path.display(),
+        plan.sliding_config,
+        plan.max_accuracy,
+        plan.space.len(),
+        plan.costs.apfg_training_secs,
+        plan.costs.rl_training_secs,
+    );
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let (kind, query, scale, seed) = parse_common(flags)?;
+    let method = flags.get("method").map(String::as_str).unwrap_or("zeus-rl");
+    let dataset = kind.generate(scale, seed);
+    let test = dataset.store.split(Split::Test);
+    let cost = CostModel::default();
+    let protocol;
+
+    // Load from the catalog when possible; plan on the fly otherwise.
+    let stored = match flags.get("catalog") {
+        Some(dir) => PlanCatalog::open(dir)
+            .map_err(|e| e.to_string())?
+            .load(&query)
+            .map_err(|e| e.to_string())?,
+        None => None,
+    };
+
+    let (rl, sliding) = match stored {
+        Some(stored) => {
+            eprintln!("using stored plan from catalog");
+            protocol = stored.protocol;
+            (
+                stored.zeus_rl_engine(cost.clone()),
+                stored.sliding_engine(cost),
+            )
+        }
+        None => {
+            eprintln!("no stored plan; planning on the fly...");
+            let mut options = PlannerOptions::default();
+            options.seed = seed;
+            let planner = QueryPlanner::new(&dataset, options);
+            let plan = planner.plan(&query);
+            protocol = plan.protocol;
+            let engines = planner.build_engines(&plan);
+            (engines.zeus_rl, engines.sliding)
+        }
+    };
+
+    let mut runs: Vec<(&str, zeus::core::ExecutionResult)> = Vec::new();
+    if method == "zeus-rl" || method == "all" {
+        runs.push(("Zeus-RL", rl.execute(&test)));
+    }
+    if method == "zeus-sliding" || method == "all" {
+        runs.push(("Zeus-Sliding", sliding.execute(&test)));
+    }
+    if runs.is_empty() {
+        return Err(format!("unknown --method '{method}'"));
+    }
+
+    println!("{}\n", query.to_sql());
+    for (name, exec) in &runs {
+        let report = exec.evaluate(&test, &query.classes, protocol);
+        println!(
+            "{name}: F1 {:.3} (P {:.2} R {:.2}) at {:.0} fps over {} frames",
+            report.f1(),
+            report.precision(),
+            report.recall(),
+            exec.throughput(),
+            exec.total_frames()
+        );
+    }
+
+    // Answer set from the first method.
+    let (_, exec) = &runs[0];
+    let mut shown = 0;
+    println!("\nsegments:");
+    for (video, segments) in exec.output_segments() {
+        for (s, e) in segments {
+            println!("  {video:?}  {s:>7}..{e:<7}");
+            shown += 1;
+            if shown >= 20 {
+                println!("  ... (truncated)");
+                return Ok(());
+            }
+        }
+    }
+    if shown == 0 {
+        println!("  (none found)");
+    }
+    Ok(())
+}

@@ -1,0 +1,35 @@
+//! # Zeus
+//!
+//! A Rust reproduction of *Zeus: Efficiently Localizing Actions in Videos
+//! using Reinforcement Learning* (SIGMOD 2022).
+//!
+//! This facade crate re-exports the public API of the workspace crates:
+//!
+//! * [`nn`] — neural-network substrate (tensors, layers, optimizers).
+//! * [`sim`] — simulated device clock and calibrated cost models.
+//! * [`video`] — synthetic video corpus, annotations, and datasets.
+//! * [`apfg`] — the Adaptive Proxy Feature Generator and proxy models.
+//! * [`rl`] — the DQN agent, replay buffer, and reward functions.
+//! * [`core`] — the Zeus query planner, executor, baselines, and metrics.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+
+#![warn(missing_docs)]
+pub use zeus_apfg as apfg;
+pub use zeus_core as core;
+pub use zeus_nn as nn;
+pub use zeus_rl as rl;
+pub use zeus_sim as sim;
+pub use zeus_video as video;
+
+/// Convenience prelude bringing the most common types into scope.
+pub mod prelude {
+    pub use zeus_core::baselines::{ExecutorKind, QueryEngine};
+    pub use zeus_apfg::Configuration;
+    pub use zeus_core::config::ConfigSpace;
+    pub use zeus_core::metrics::EvalReport;
+    pub use zeus_core::planner::{PlannerOptions, QueryPlanner};
+    pub use zeus_core::query::ActionQuery;
+    pub use zeus_video::datasets::{DatasetKind, SyntheticDataset};
+}

@@ -1,0 +1,183 @@
+//! Property-based tests on cross-crate invariants.
+
+use proptest::prelude::*;
+use zeus::apfg::Configuration;
+use zeus::core::metrics::{evaluate_events, evaluate_frames, EvalProtocol};
+use zeus::sim::{CostModel, SimClock, SimDuration};
+use zeus::video::annotation::{interval_iou, runs_from_labels, smooth_labels};
+use zeus::video::segment::{sample_indices, Segment};
+use zeus::video::{ActionClass, DatasetKind};
+
+proptest! {
+    // ---------- annotation / IoU ----------
+
+    #[test]
+    fn iou_is_symmetric_and_bounded(a0 in 0usize..500, al in 0usize..200,
+                                    b0 in 0usize..500, bl in 0usize..200) {
+        let (a1, b1) = (a0 + al, b0 + bl);
+        let x = interval_iou(a0, a1, b0, b1);
+        let y = interval_iou(b0, b1, a0, a1);
+        prop_assert_eq!(x.to_bits(), y.to_bits(), "IoU must be symmetric");
+        prop_assert!((0.0..=1.0).contains(&x));
+        if al > 0 {
+            prop_assert!((interval_iou(a0, a1, a0, a1) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn runs_roundtrip_through_labels(runs in prop::collection::vec((0usize..100, 1usize..20), 0..5)) {
+        // Build labels from sorted, gap-separated runs; extraction must
+        // return exactly those runs.
+        let mut labels = vec![false; 400];
+        let mut cursor = 0usize;
+        let mut expect = Vec::new();
+        for (gap, len) in runs {
+            let start = cursor + gap + 1;
+            let end = (start + len).min(400);
+            if start >= end { break; }
+            for l in &mut labels[start..end] { *l = true; }
+            expect.push((start, end));
+            cursor = end;
+        }
+        prop_assert_eq!(runs_from_labels(&labels), expect);
+    }
+
+    #[test]
+    fn smoothing_never_fragments(labels in prop::collection::vec(any::<bool>(), 1..300),
+                                 gap in 0usize..8, min_run in 0usize..8) {
+        let out = smooth_labels(&labels, gap, min_run);
+        // Smoothing cannot increase the number of runs.
+        prop_assert!(runs_from_labels(&out).len() <= runs_from_labels(&labels).len());
+        // All surviving runs respect min_run.
+        if min_run > 1 {
+            for (s, e) in runs_from_labels(&out) {
+                prop_assert!(e - s >= min_run, "run ({s},{e}) below min_run {min_run}");
+            }
+        }
+    }
+
+    // ---------- metrics ----------
+
+    #[test]
+    fn windowed_report_counts_are_conserved(gt in prop::collection::vec(any::<bool>(), 1..300),
+                                            flips in prop::collection::vec(any::<bool>(), 1..300),
+                                            window in 1usize..20) {
+        let n = gt.len().min(flips.len());
+        let gt = &gt[..n];
+        let pred: Vec<bool> = gt.iter().zip(&flips[..n]).map(|(&g, &f)| g ^ f).collect();
+        let protocol = EvalProtocol::new(window);
+        let report = evaluate_frames(protocol, gt, &pred);
+        let windows = n.div_ceil(window) as u64;
+        prop_assert_eq!(report.total(), windows, "every window must be counted once");
+        let f1 = report.f1();
+        prop_assert!((0.0..=1.0).contains(&f1));
+    }
+
+    #[test]
+    fn perfect_predictions_are_perfect(gt in prop::collection::vec(any::<bool>(), 1..300),
+                                       window in 1usize..20) {
+        let protocol = EvalProtocol::new(window);
+        let report = evaluate_frames(protocol, &gt, &gt);
+        prop_assert_eq!(report.fp, 0);
+        prop_assert_eq!(report.fn_, 0);
+        prop_assert!((report.f1() - 1.0).abs() < 1e-12);
+        let ev = evaluate_events(&gt, &gt, 0.5);
+        prop_assert_eq!(ev.fp, 0);
+        prop_assert_eq!(ev.fn_, 0);
+    }
+
+    #[test]
+    fn event_counts_bounded_by_run_counts(gt in prop::collection::vec(any::<bool>(), 1..300),
+                                          pred in prop::collection::vec(any::<bool>(), 1..300)) {
+        let n = gt.len().min(pred.len());
+        let (gt, pred) = (&gt[..n], &pred[..n]);
+        let report = evaluate_events(gt, pred, 0.5);
+        let gt_runs = runs_from_labels(gt).len() as u64;
+        let pred_runs = runs_from_labels(pred).len() as u64;
+        prop_assert_eq!(report.tp + report.fn_, gt_runs);
+        prop_assert_eq!(report.tp + report.fp, pred_runs);
+    }
+
+    // ---------- segments / configurations ----------
+
+    #[test]
+    fn segment_spans_are_clamped(start in 0usize..1000, l in 1usize..65,
+                                 s in 1usize..9, frames in 1usize..1000) {
+        match Segment::from_config(start, l, s, frames) {
+            Some(seg) => {
+                prop_assert!(seg.start == start);
+                prop_assert!(seg.end <= frames);
+                prop_assert!(seg.len() <= l * s);
+                prop_assert!(start < frames);
+            }
+            None => prop_assert!(start >= frames),
+        }
+    }
+
+    #[test]
+    fn sampled_indices_are_strictly_increasing(start in 0usize..500, l in 1usize..65,
+                                               s in 1usize..9, frames in 1usize..2000) {
+        let idx = sample_indices(start, l, s, frames);
+        prop_assert!(idx.len() <= l);
+        for pair in idx.windows(2) {
+            prop_assert_eq!(pair[1] - pair[0], s);
+        }
+        for &i in &idx {
+            prop_assert!(i < frames);
+        }
+    }
+
+    #[test]
+    fn configuration_cost_is_monotone(r in 1usize..400, l in 1usize..65, s in 1usize..9) {
+        let cost = CostModel::default();
+        let base = cost.r3d_invocation(l, r).as_secs();
+        prop_assert!(cost.r3d_invocation(l + 1, r).as_secs() > base);
+        prop_assert!(cost.r3d_invocation(l, r + 1).as_secs() > base);
+        // Covering more frames per invocation never lowers sliding fps.
+        let fps = cost.sliding_throughput(l, s, r);
+        prop_assert!(cost.sliding_throughput(l, s + 1, r) > fps);
+        let _ = Configuration::new(r, l, s); // constructor accepts valid knobs
+    }
+
+    // ---------- simulated time ----------
+
+    #[test]
+    fn sim_clock_addition_is_exact_over_integers(ticks in prop::collection::vec(1u32..1000, 0..50)) {
+        let mut clock = SimClock::new();
+        let mut total = 0u64;
+        for t in &ticks {
+            clock.advance(SimDuration::from_secs(*t as f64));
+            total += *t as u64;
+        }
+        prop_assert_eq!(clock.elapsed_secs(), total as f64);
+        prop_assert_eq!(clock.events(), ticks.len() as u64);
+    }
+
+    // ---------- dataset generation ----------
+
+    #[test]
+    fn generated_videos_have_valid_annotations(seed in 0u64..50) {
+        let ds = DatasetKind::Bdd100k.generate(0.02, seed);
+        for v in ds.store.videos() {
+            for iv in &v.intervals {
+                prop_assert!(iv.end <= v.num_frames);
+                prop_assert!(iv.len() >= 1);
+            }
+            for pair in v.intervals.windows(2) {
+                prop_assert!(pair[0].end <= pair[1].start, "intervals must not overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn labels_match_intervals(seed in 0u64..30) {
+        let ds = DatasetKind::Thumos14.generate(0.02, seed);
+        let classes = [ActionClass::PoleVault];
+        for v in ds.store.videos().iter().take(2) {
+            let labels = v.labels(&classes);
+            let from_runs: usize = runs_from_labels(&labels).iter().map(|(s, e)| e - s).sum();
+            let from_count = v.action_frames_in(&classes, 0, v.num_frames);
+            prop_assert_eq!(from_runs, from_count);
+        }
+    }
+}
