@@ -45,7 +45,11 @@ impl Configuration {
 
 impl std::fmt::Display for Configuration {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "({}, {}, {})", self.resolution, self.seg_len, self.sampling_rate)
+        write!(
+            f,
+            "({}, {}, {})",
+            self.resolution, self.seg_len, self.sampling_rate
+        )
     }
 }
 

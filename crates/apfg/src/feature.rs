@@ -53,7 +53,7 @@ mod tests {
         fn process(&self, _video: &Video, start: usize, _config: Configuration) -> ApfgOutput {
             ApfgOutput {
                 feature: vec![start as f32, 1.0],
-                prediction: start % 2 == 0,
+                prediction: start.is_multiple_of(2),
                 confidence: 0.5,
             }
         }

@@ -100,8 +100,7 @@ impl FramePpModel {
     pub fn predict_frame(&self, video: &Video, n: usize) -> bool {
         assert!(n < video.num_frames, "frame {n} out of range");
         let block = (n / ERROR_BLOCK) as u64;
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(mix2(self.seed, mix2(video.seed, block)));
+        let mut rng = ChaCha8Rng::seed_from_u64(mix2(self.seed, mix2(video.seed, block)));
         let p = self.positive_probability(video, n);
         rng.gen::<f64>() < p
     }
@@ -122,7 +121,9 @@ impl FramePpModel {
                     .map(|&c| class_similarity(c, iv.class))
                     .fold(0.0f64, f64::max)
             })
-            .fold(None, |acc: Option<f64>, s| Some(acc.map_or(s, |a| a.max(s))))
+            .fold(None, |acc: Option<f64>, s| {
+                Some(acc.map_or(s, |a| a.max(s)))
+            })
         {
             if sim >= 0.5 {
                 return self.confusion_fp_rate(sim);

@@ -35,7 +35,6 @@
 //! cannot see motion direction (temporal dependence), light filters cannot
 //! capture scene complexity (§6.2).
 
-
 #![warn(missing_docs)]
 pub mod cache;
 pub mod config;

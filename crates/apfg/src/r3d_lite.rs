@@ -12,8 +12,8 @@
 
 use rand::Rng;
 use zeus_nn::conv::{Conv3d, GlobalAvgPool3d, VolumeShape};
-use zeus_nn::{loss, Activation, Linear, Tensor};
 use zeus_nn::optim::{Adam, Optimizer};
+use zeus_nn::{loss, Activation, Linear, Tensor};
 use zeus_video::segment::SegmentTensor;
 use zeus_video::Video;
 
@@ -74,9 +74,10 @@ impl R3dLite {
         let (z2, s2) = self.conv2.forward(&a1, s1);
         let a2 = Activation::LeakyRelu.forward(&z2);
         let feat = self.gap.forward(&a2, s2);
-        let logits = self
-            .head
-            .forward(&Tensor::from_vec(&[1, R3D_LITE_FEATURES], feat.data().to_vec()));
+        let logits = self.head.forward(&Tensor::from_vec(
+            &[1, R3D_LITE_FEATURES],
+            feat.data().to_vec(),
+        ));
         self.cached = Some(ForwardCache { z1, s1, z2 });
         (feat.data().to_vec(), logits.data().to_vec())
     }
@@ -84,7 +85,11 @@ impl R3dLite {
     /// Backward pass from a gradient on the logits; accumulates all
     /// parameter gradients.
     pub fn backward(&mut self, grad_logits: &Tensor) {
-        let cache = self.cached.as_ref().expect("backward before forward").clone();
+        let cache = self
+            .cached
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
         let g_feat = self.head.backward(grad_logits);
         let g_feat = Tensor::vector(g_feat.data().to_vec());
         let g_a2 = self.gap.backward(&g_feat);
@@ -109,12 +114,7 @@ impl R3dLite {
 
     /// Train on labeled segments (true = ACTION). Returns the final epoch's
     /// mean loss.
-    pub fn fit(
-        &mut self,
-        samples: &[(Vec<f32>, [usize; 4], bool)],
-        epochs: usize,
-        lr: f32,
-    ) -> f32 {
+    pub fn fit(&mut self, samples: &[(Vec<f32>, [usize; 4], bool)], epochs: usize, lr: f32) -> f32 {
         assert!(!samples.is_empty(), "need training samples");
         let mut opt = Adam::new(lr);
         let mut last = f32::MAX;
@@ -124,8 +124,7 @@ impl R3dLite {
                 self.zero_grad();
                 let (_, logits) = self.forward(vol, *dims);
                 let logits_t = Tensor::from_vec(&[1, 2], logits);
-                let (l, grad) =
-                    loss::softmax_cross_entropy(&logits_t, &[usize::from(*label)]);
+                let (l, grad) = loss::softmax_cross_entropy(&logits_t, &[usize::from(*label)]);
                 self.backward(&grad);
                 let mut params: Vec<&mut zeus_nn::Param> = self
                     .conv1

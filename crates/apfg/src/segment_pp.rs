@@ -78,8 +78,7 @@ impl SegmentPpFilter {
         } else {
             self.pass_rate_negative()
         };
-        let mut rng =
-            ChaCha8Rng::seed_from_u64(mix2(self.seed, mix2(video.seed, start as u64)));
+        let mut rng = ChaCha8Rng::seed_from_u64(mix2(self.seed, mix2(video.seed, start as u64)));
         rng.gen::<f64>() < p
     }
 }

@@ -322,8 +322,12 @@ impl FeatureGenerator for SimulatedApfg {
 
         let span_end = (start + config.frames_covered()).min(video.num_frames);
         let span_len = span_end - start;
-        let indices =
-            zeus_video::segment::sample_indices(start, config.seg_len, config.sampling_rate, video.num_frames);
+        let indices = zeus_video::segment::sample_indices(
+            start,
+            config.seg_len,
+            config.sampling_rate,
+            video.num_frames,
+        );
 
         // Evidence: sampled frames that are action frames of a *visible*
         // (not intrinsically hard) instance.
@@ -340,7 +344,14 @@ impl FeatureGenerator for SimulatedApfg {
             // stride skipped it entirely): only a false positive can fire.
             let fp = self.false_positive_rate(config);
             let fired = rng.gen::<f64>() < fp;
-            (fired, if fired { 0.5 + 0.3 * rng.gen::<f64>() } else { fp })
+            (
+                fired,
+                if fired {
+                    0.5 + 0.3 * rng.gen::<f64>()
+                } else {
+                    fp
+                },
+            )
         } else {
             let q = self.discriminability(config);
             let p_detect = 1.0 - (1.0 - q).powi(evidence as i32);
@@ -351,8 +362,7 @@ impl FeatureGenerator for SimulatedApfg {
         // end are the visually indistinguishable regime of §2 — confusion
         // both ways.
         let straddles_boundary = visible.iter().any(|iv| {
-            (iv.start > start && iv.start < span_end)
-                || (iv.end > start && iv.end < span_end)
+            (iv.start > start && iv.start < span_end) || (iv.end > start && iv.end < span_end)
         });
         if straddles_boundary && rng.gen::<f64>() < self.params.boundary_flip {
             prediction = !prediction;
@@ -366,10 +376,7 @@ impl FeatureGenerator for SimulatedApfg {
             if e <= s {
                 return 0.0;
             }
-            let frames = visible
-                .iter()
-                .map(|iv| iv.overlap(s, e))
-                .sum::<usize>();
+            let frames = visible.iter().map(|iv| iv.overlap(s, e)).sum::<usize>();
             frames as f64 / (e - s) as f64
         };
         let overall = frac(start, span_end);
@@ -398,8 +405,7 @@ impl FeatureGenerator for SimulatedApfg {
         // Precursor cues (an entity approaching the scene of the action)
         // are large-scale visual structure — visible even at low
         // resolution, so the channel carries half the evidence noise.
-        feature[3] =
-            (precursor + 0.5 * sigma * normal(&mut rng)).clamp(0.0, 1.0) as f32;
+        feature[3] = (precursor + 0.5 * sigma * normal(&mut rng)).clamp(0.0, 1.0) as f32;
         feature[4] = if prediction { 1.0 } else { 0.0 };
         feature[5] = confidence as f32;
         feature[6] = (config.resolution as f64 / self.max_resolution as f64) as f32;
@@ -415,8 +421,8 @@ impl FeatureGenerator for SimulatedApfg {
         if self.feature_skew > 0.0 {
             let k = self.feature_skew;
             for f in feature.iter_mut().take(4) {
-                *f = (*f as f64 * (1.0 - 0.5 * k) + 0.3 * k * normal(&mut rng))
-                    .clamp(0.0, 1.0) as f32;
+                *f = (*f as f64 * (1.0 - 0.5 * k) + 0.3 * k * normal(&mut rng)).clamp(0.0, 1.0)
+                    as f32;
             }
         }
 
@@ -476,7 +482,10 @@ mod tests {
             .map(|i| 100 + i * 4)
             .filter(|&s| a.process(&v, s, c).prediction)
             .count();
-        assert!(hits >= 45, "slow config should almost always detect: {hits}/50");
+        assert!(
+            hits >= 45,
+            "slow config should almost always detect: {hits}/50"
+        );
     }
 
     #[test]
@@ -485,14 +494,17 @@ mod tests {
         let v = video_with_action(101, 107);
         let a = apfg();
         let c = Configuration::new(300, 8, 8); // samples 96, 104, ... wait
-        // Start at 96: samples 96,104,112,...; 104 ∈ [101,107) → evidence.
-        // Start at 88: samples 88,96,104,... also hits.
-        // Start at 90: samples 90,98,106 → 106 ∈ [101,107) hits.
-        // Start at 91: samples 91,99,107,115 → no action frame sampled.
+                                               // Start at 96: samples 96,104,112,...; 104 ∈ [101,107) → evidence.
+                                               // Start at 88: samples 88,96,104,... also hits.
+                                               // Start at 90: samples 90,98,106 → 106 ∈ [101,107) hits.
+                                               // Start at 91: samples 91,99,107,115 → no action frame sampled.
         let out = a.process(&v, 91, c);
         // Evidence is zero, so only a (rare) false positive could fire;
         // the evidence feature channel must be near zero.
-        assert!(out.feature[0] < 0.5, "no sampled evidence should be visible");
+        assert!(
+            out.feature[0] < 0.5,
+            "no sampled evidence should be visible"
+        );
         let q = a.discriminability(c);
         assert!(q > 0.0, "sanity: q positive");
     }
@@ -562,7 +574,7 @@ mod tests {
         let v = video_with_action(200, 300);
         let a = apfg();
         let c = Configuration::new(300, 8, 4); // span 32
-        // Span [160,192): next action at 200 is 8 frames away, lookahead 64.
+                                               // Span [160,192): next action at 200 is 8 frames away, lookahead 64.
         let near = a.process(&v, 160, c).feature[3];
         // Span [0,32): action 168 frames away, beyond lookahead.
         let far = a.process(&v, 0, c).feature[3];
@@ -590,9 +602,7 @@ mod tests {
         assert_eq!(domain_shift(Bdd100k, Bdd100k, &cr), 0.0);
         // KITTI shifts more than Cityscapes; CrossRight more than LeftTurn.
         assert!(domain_shift(Bdd100k, Kitti, &lt) > domain_shift(Bdd100k, Cityscapes, &lt));
-        assert!(
-            domain_shift(Bdd100k, Cityscapes, &cr) > domain_shift(Bdd100k, Cityscapes, &lt)
-        );
+        assert!(domain_shift(Bdd100k, Cityscapes, &cr) > domain_shift(Bdd100k, Cityscapes, &lt));
     }
 
     #[test]
@@ -602,7 +612,10 @@ mod tests {
         let out = a.process(&v, 50, Configuration::new(150, 8, 8));
         assert_eq!(out.feature.len(), FEATURE_DIM);
         for &f in &out.feature[0..4] {
-            assert!((0.0..=1.0).contains(&f), "evidence channel out of range: {f}");
+            assert!(
+                (0.0..=1.0).contains(&f),
+                "evidence channel out of range: {f}"
+            );
         }
     }
 }

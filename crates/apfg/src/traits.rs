@@ -114,9 +114,8 @@ pub fn union_traits(classes: &[ActionClass]) -> QueryTraits {
         return class_traits(classes[0]);
     }
     let n = classes.len() as f64;
-    let mean = |f: fn(QueryTraits) -> f64| {
-        classes.iter().map(|&c| f(class_traits(c))).sum::<f64>() / n
-    };
+    let mean =
+        |f: fn(QueryTraits) -> f64| classes.iter().map(|&c| f(class_traits(c))).sum::<f64>() / n;
     let mean_acc = mean(|t| t.max_accuracy);
     let mean_td = mean(|t| t.temporal_dependence);
     let mean_sc = mean(|t| t.scene_complexity);

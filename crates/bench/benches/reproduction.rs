@@ -82,9 +82,7 @@ fn bench_fig8_executors(c: &mut Criterion) {
     let run = |b: &mut criterion::Bencher, engine: &dyn QueryEngine| {
         b.iter_batched(
             || (SimClock::new(), ConfigHistogram::new()),
-            |(mut clock, mut hist)| {
-                black_box(engine.execute_video(&video, &mut clock, &mut hist))
-            },
+            |(mut clock, mut hist)| black_box(engine.execute_video(&video, &mut clock, &mut hist)),
             BatchSize::SmallInput,
         )
     };

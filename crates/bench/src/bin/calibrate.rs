@@ -14,16 +14,39 @@ fn main() {
     println!("\nTable-2 rows (paper: (150,4,8)->0.57, (200,4,4)->0.82, (250,6,2)->0.86, (300,6,1)->0.91):");
     for p in &ctx.plan.profiles {
         let c = p.config;
-        if [(150, 4, 8), (200, 4, 4), (250, 6, 2), (300, 6, 1)]
-            .contains(&(c.resolution, c.seg_len, c.sampling_rate))
-        {
-            println!("  {:>14}  {:7.1} fps  F1 {:.3}", c.to_string(), p.throughput_fps, p.f1);
+        if [(150, 4, 8), (200, 4, 4), (250, 6, 2), (300, 6, 1)].contains(&(
+            c.resolution,
+            c.seg_len,
+            c.sampling_rate,
+        )) {
+            println!(
+                "  {:>14}  {:7.1} fps  F1 {:.3}",
+                c.to_string(),
+                p.throughput_fps,
+                p.f1
+            );
         }
     }
-    println!("max F1 over space: {:.3} (paper Table 4: 0.91)", ctx.plan.max_accuracy);
-    println!("episode rewards: {:?}", ctx.plan.training_report.episode_rewards.iter().map(|r| (r*1000.0).round()/1000.0).collect::<Vec<_>>());
+    println!(
+        "max F1 over space: {:.3} (paper Table 4: 0.91)",
+        ctx.plan.max_accuracy
+    );
+    println!(
+        "episode rewards: {:?}",
+        ctx.plan
+            .training_report
+            .episode_rewards
+            .iter()
+            .map(|r| (r * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
     let r = ctx.run(ExecutorKind::ZeusRl);
-    println!("Zeus-RL F1 {:.2} @{:.0}fps; lo-res frac {:.2}; top-5 configs:", r.f1, r.throughput_fps, r.histogram.low_resolution_fraction(200));
+    println!(
+        "Zeus-RL F1 {:.2} @{:.0}fps; lo-res frac {:.2}; top-5 configs:",
+        r.f1,
+        r.throughput_fps,
+        r.histogram.low_resolution_fraction(200)
+    );
     let mut entries = r.histogram.entries();
     entries.sort_by_key(|(_, n)| std::cmp::Reverse(*n));
     for (c, n) in entries.iter().take(5) {
@@ -33,10 +56,23 @@ fn main() {
     println!("\nPer-query sweep (paper targets: BDD 0.85, others 0.75):");
     for (kind, class, target) in paper_queries() {
         let ctx = ExperimentContext::new(kind, vec![class], target);
-        print!("{:<12} {:<15} maxF1 {:.2} slide {:<12}", kind.name(), class.display_name(), ctx.plan.max_accuracy, ctx.plan.sliding_config.to_string());
-        for k in [ExecutorKind::ZeusSliding, ExecutorKind::ZeusHeuristic, ExecutorKind::ZeusRl] {
+        print!(
+            "{:<12} {:<15} maxF1 {:.2} slide {:<12}",
+            kind.name(),
+            class.display_name(),
+            ctx.plan.max_accuracy,
+            ctx.plan.sliding_config.to_string()
+        );
+        for k in [
+            ExecutorKind::ZeusSliding,
+            ExecutorKind::ZeusHeuristic,
+            ExecutorKind::ZeusRl,
+        ] {
             let r = ctx.run(k);
-            print!(" | {} F1 {:.2} @{:6.0}fps", r.method, r.f1, r.throughput_fps);
+            print!(
+                " | {} F1 {:.2} @{:6.0}fps",
+                r.method, r.f1, r.throughput_fps
+            );
         }
         println!();
     }

@@ -43,11 +43,41 @@ fn fmt_result(r: &QueryResult) -> Vec<String> {
 /// implementations rather than measured).
 pub fn table1() -> ExperimentOutput {
     let rows = vec![
-        vec!["Frame-PP".into(), "".into(), "".into(), "".into(), "".into()],
-        vec!["Segment-PP".into(), "x".into(), "".into(), "".into(), "".into()],
-        vec!["Zeus-Sliding".into(), "x".into(), "".into(), "".into(), "x".into()],
-        vec!["Zeus-Heuristic".into(), "x".into(), "x".into(), "".into(), "".into()],
-        vec!["Zeus-RL".into(), "x".into(), "x".into(), "x".into(), "x".into()],
+        vec![
+            "Frame-PP".into(),
+            "".into(),
+            "".into(),
+            "".into(),
+            "".into(),
+        ],
+        vec![
+            "Segment-PP".into(),
+            "x".into(),
+            "".into(),
+            "".into(),
+            "".into(),
+        ],
+        vec![
+            "Zeus-Sliding".into(),
+            "x".into(),
+            "".into(),
+            "".into(),
+            "x".into(),
+        ],
+        vec![
+            "Zeus-Heuristic".into(),
+            "x".into(),
+            "x".into(),
+            "".into(),
+            "".into(),
+        ],
+        vec![
+            "Zeus-RL".into(),
+            "x".into(),
+            "x".into(),
+            "x".into(),
+            "x".into(),
+        ],
     ];
     ExperimentOutput {
         id: "table1".into(),
@@ -97,7 +127,15 @@ pub fn table3(scale: f64) -> ExperimentOutput {
     let paper = [
         (DatasetKind::Bdd100k, 186.0, 7.03, 115.0, 58.7, 6, 305),
         (DatasetKind::Thumos14, 645.0, 40.27, 211.0, 186.3, 18, 3543),
-        (DatasetKind::ActivityNet, 633.0, 56.37, 909.0, 1239.1, 20, 6931),
+        (
+            DatasetKind::ActivityNet,
+            633.0,
+            56.37,
+            909.0,
+            1239.1,
+            20,
+            6931,
+        ),
     ];
     let mut rows = Vec::new();
     for (kind, pk, ppct, pmean, pstd, pmin, pmax) in paper {
@@ -118,7 +156,16 @@ pub fn table3(scale: f64) -> ExperimentOutput {
         id: "table3".into(),
         text: render(
             &format!("Table 3 — Dataset characteristics (scale {scale})"),
-            &["Dataset", "Cls", "Frames", "%Action", "MeanLen", "Std", "(Min,Max)", "paper (full scale)"],
+            &[
+                "Dataset",
+                "Cls",
+                "Frames",
+                "%Action",
+                "MeanLen",
+                "Std",
+                "(Min,Max)",
+                "paper (full scale)",
+            ],
             &rows,
         ),
     }
@@ -165,7 +212,10 @@ pub fn fig8(contexts: &[(&str, &ExperimentContext)]) -> ExperimentOutput {
     let mut rows = Vec::new();
     for (name, ctx) in contexts {
         for outcome in ctx.run_all() {
-            let mut row = vec![(*name).to_string(), format!("{:.2}", ctx.query.target_accuracy)];
+            let mut row = vec![
+                (*name).to_string(),
+                format!("{:.2}", ctx.query.target_accuracy),
+            ];
             row.extend(fmt_result(&outcome.result));
             rows.push(row);
         }
@@ -286,15 +336,12 @@ pub fn fig10(queries: &[(DatasetKind, ActionClass, f64)]) -> ExperimentOutput {
             ),
         ];
         for (name, mask) in masks {
-            let mut options = PlannerOptions::default();
-            options.knob_mask = mask;
-            let ctx = ExperimentContext::with_scale(
-                kind,
-                vec![class],
-                target,
-                DEFAULT_SCALE,
-                options,
-            );
+            let options = PlannerOptions {
+                knob_mask: mask,
+                ..PlannerOptions::default()
+            };
+            let ctx =
+                ExperimentContext::with_scale(kind, vec![class], target, DEFAULT_SCALE, options);
             let rl = ctx.run(ExecutorKind::ZeusRl);
             rows.push(vec![
                 class.display_name().into(),
@@ -357,8 +404,7 @@ pub fn fig12(cross_right: &ExperimentContext) -> ExperimentOutput {
         (ActionClass::CrossLeft, "CrossRight->CrossLeft"),
         (ActionClass::LeftTurn, "CrossRight->LeftTurn"),
     ] {
-        let similarity =
-            zeus_apfg::traits::class_similarity(ActionClass::CrossRight, target_class);
+        let similarity = zeus_apfg::traits::class_similarity(ActionClass::CrossRight, target_class);
         let space = &cross_right.plan.space;
         let apfg = zeus_apfg::SimulatedApfg::new(
             vec![target_class],
@@ -424,14 +470,15 @@ pub fn fig12(cross_right: &ExperimentContext) -> ExperimentOutput {
 
 /// Figure 13: domain adaptation — train on BDD100K, test on Cityscapes and
 /// KITTI with the calibrated domain-shift model.
-pub fn fig13(
-    cross_right: &ExperimentContext,
-    left_turn: &ExperimentContext,
-) -> ExperimentOutput {
+pub fn fig13(cross_right: &ExperimentContext, left_turn: &ExperimentContext) -> ExperimentOutput {
     let cost = CostModel::default();
     let mut rows = Vec::new();
     let transfers: [(&ExperimentContext, ActionClass, DatasetKind); 3] = [
-        (cross_right, ActionClass::CrossRight, DatasetKind::Cityscapes),
+        (
+            cross_right,
+            ActionClass::CrossRight,
+            DatasetKind::Cityscapes,
+        ),
         (left_turn, ActionClass::LeftTurn, DatasetKind::Cityscapes),
         (left_turn, ActionClass::LeftTurn, DatasetKind::Kitti),
     ];
@@ -473,7 +520,13 @@ pub fn fig13(
             ),
             ("Zeus-Heuristic", {
                 let (fast, mid, slow) = zeus_core::planner::heuristic_subset(&ctx.plan.profiles);
-                Box::new(ZeusHeuristic::new(apfg.clone(), fast, mid, slow, cost.clone()))
+                Box::new(ZeusHeuristic::new(
+                    apfg.clone(),
+                    fast,
+                    mid,
+                    slow,
+                    cost.clone(),
+                ))
             }),
             (
                 "Zeus-RL",
@@ -517,8 +570,11 @@ pub fn fig14() -> ExperimentOutput {
     let mut rows = Vec::new();
     let mut res_rows = Vec::new();
     for (kind, class, target) in queries {
-        let mut options = PlannerOptions::default();
-        options.max_actions = 3; // constrain the agent to fast/mid/slow (§6.8)
+        // Constrain the agent to fast/mid/slow (§6.8).
+        let options = PlannerOptions {
+            max_actions: 3,
+            ..PlannerOptions::default()
+        };
         let ctx = ExperimentContext::with_scale(kind, vec![class], target, DEFAULT_SCALE, options);
         // `restricted_to` preserves the full-space order, so classify the
         // three surviving configurations by measured throughput.
@@ -531,7 +587,11 @@ pub fn fig14() -> ExperimentOutput {
 
         for kind_ex in [ExecutorKind::ZeusHeuristic, ExecutorKind::ZeusRl] {
             let r = ctx.run(kind_ex);
-            let fr = r.histogram.fractions_for(&[by_speed[0], by_speed[by_speed.len() / 2], by_speed[by_speed.len() - 1]]);
+            let fr = r.histogram.fractions_for(&[
+                by_speed[0],
+                by_speed[by_speed.len() / 2],
+                by_speed[by_speed.len() - 1],
+            ]);
             rows.push(vec![
                 class.display_name().into(),
                 r.method.clone(),
@@ -580,8 +640,10 @@ pub fn ablation_reward() -> ExperimentOutput {
             Some(RewardMode::Local { beta: 0.30 }),
         ),
     ] {
-        let mut options = PlannerOptions::default();
-        options.reward_mode = mode;
+        let options = PlannerOptions {
+            reward_mode: mode,
+            ..PlannerOptions::default()
+        };
         let ctx = ExperimentContext::with_scale(
             DatasetKind::Bdd100k,
             vec![ActionClass::CrossRight],
@@ -610,8 +672,10 @@ pub fn ablation_reward() -> ExperimentOutput {
 pub fn ablation_reuse() -> ExperimentOutput {
     let mut rows = Vec::new();
     for (name, ensemble) in [("Model reuse (§5)", false), ("Per-config ensemble", true)] {
-        let mut options = PlannerOptions::default();
-        options.per_config_ensemble = ensemble;
+        let options = PlannerOptions {
+            per_config_ensemble: ensemble,
+            ..PlannerOptions::default()
+        };
         let ctx = ExperimentContext::with_scale(
             DatasetKind::Bdd100k,
             vec![ActionClass::CrossRight],
@@ -641,8 +705,10 @@ pub fn ablation_reuse() -> ExperimentOutput {
 pub fn ablation_window() -> ExperimentOutput {
     let mut rows = Vec::new();
     for mult in [5usize, 25, 100] {
-        let mut options = PlannerOptions::default();
-        options.window_multiple = mult;
+        let options = PlannerOptions {
+            window_multiple: mult,
+            ..PlannerOptions::default()
+        };
         let ctx = ExperimentContext::with_scale(
             DatasetKind::Bdd100k,
             vec![ActionClass::CrossRight],
@@ -691,6 +757,93 @@ pub fn extension_parallel(ctx: &ExperimentContext) -> ExperimentOutput {
     }
 }
 
+/// Extension: the `zeus-serve` concurrent serving layer — the
+/// latency/throughput curve vs worker count that motivates the device
+/// pool. A closed-loop workload of distinct queries (one trained policy
+/// shared across accuracy-target identities, so no per-query retraining)
+/// saturates servers of 1–8 devices.
+pub fn extension_serving(ctx: &ExperimentContext) -> ExperimentOutput {
+    use zeus_core::catalog::{decode_plan, encode_plan};
+    use zeus_core::query::ActionQuery;
+    use zeus_serve::{
+        run_closed_loop, CorpusId, PlanStore, Priority, ServeConfig, WorkloadSpec, ZeusServer,
+    };
+
+    // 24 query identities over one trained plan; 48 submissions → every
+    // identity runs once and repeats hit the result cache.
+    let targets: Vec<f64> = (0..24).map(|i| 0.70 + 0.005 * i as f64).collect();
+    let corpus = CorpusId::new(ctx.dataset.kind(), ctx.scale, ctx.seed);
+    let templates: Vec<ActionQuery> = targets
+        .iter()
+        .map(|&t| ActionQuery::multi(ctx.query.classes.clone(), t))
+        .collect();
+    let spec = WorkloadSpec {
+        templates: templates.clone(),
+        priorities: Priority::ALL.to_vec(),
+        total: 48,
+        seed: DEFAULT_SEED,
+    };
+
+    let mut rows = Vec::new();
+    let mut base_qps = 0.0;
+    for workers in [1usize, 2, 4, 8] {
+        let plans = PlanStore::in_memory();
+        let stored =
+            decode_plan(&encode_plan(&ctx.plan, ctx.options.seed)).expect("plan roundtrip");
+        for template in &templates {
+            let mut variant = stored.clone();
+            variant.query = template.clone();
+            plans.install_stored(variant);
+        }
+        let server = ZeusServer::start(
+            &ctx.dataset,
+            corpus,
+            plans,
+            ServeConfig {
+                workers,
+                queue_capacity: 256,
+                cache_capacity: 64,
+                ..ServeConfig::default()
+            },
+        );
+        let report = run_closed_loop(&server, &spec, 8);
+        server.shutdown();
+        let m = &report.metrics;
+        if workers == 1 {
+            base_qps = m.throughput_qps;
+        }
+        rows.push(vec![
+            format!("{workers}"),
+            format!("{:.1}", m.p50.as_secs_f64() * 1e3),
+            format!("{:.1}", m.p95.as_secs_f64() * 1e3),
+            format!("{:.1}", m.p99.as_secs_f64() * 1e3),
+            format!("{:.1}", m.throughput_qps),
+            if base_qps > 0.0 {
+                format!("{:.2}x", m.throughput_qps / base_qps)
+            } else {
+                "-".into()
+            },
+            format!("{:.0}%", m.cache_hit_rate() * 100.0),
+        ]);
+    }
+    ExperimentOutput {
+        id: "extension-serving".into(),
+        text: render(
+            "Extension — zeus-serve closed-loop scaling, CrossRight (48 queries, 8 clients)",
+            &[
+                "Devices",
+                "p50 (ms)",
+                "p95 (ms)",
+                "p99 (ms)",
+                "qps",
+                "Speedup",
+                "Cache hits",
+            ],
+            &rows,
+        ),
+    }
+}
+
 /// Run the full suite in paper order. `fast` skips the slowest blocks.
 pub fn run_all(fast: bool) -> Vec<ExperimentOutput> {
     let mut outputs = Vec::new();
@@ -708,8 +861,7 @@ pub fn run_all(fast: bool) -> Vec<ExperimentOutput> {
             )
         })
         .collect();
-    let ctx_refs: Vec<(&str, &ExperimentContext)> =
-        contexts.iter().map(|(n, c)| (*n, c)).collect();
+    let ctx_refs: Vec<(&str, &ExperimentContext)> = contexts.iter().map(|(n, c)| (*n, c)).collect();
     let cross_right = &contexts[0].1;
     let left_turn = &contexts[1].1;
 
@@ -737,6 +889,7 @@ pub fn run_all(fast: bool) -> Vec<ExperimentOutput> {
     outputs.push(fig12(cross_right));
     outputs.push(fig13(cross_right, left_turn));
     outputs.push(extension_parallel(cross_right));
+    outputs.push(extension_serving(cross_right));
 
     if !fast {
         outputs.push(fig10(&[
@@ -750,4 +903,51 @@ pub fn run_all(fast: bool) -> Vec<ExperimentOutput> {
         outputs.push(ablation_window());
     }
     outputs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_core::query::ActionQuery;
+    use zeus_rl::EpsilonSchedule;
+
+    #[test]
+    fn serving_experiment_produces_the_scaling_table() {
+        // A fast-options context at reduced scale; the experiment itself
+        // only cares that the serving layer drives all worker counts.
+        let mut options = PlannerOptions::default();
+        options.trainer.episodes = 2;
+        options.trainer.warmup = 64;
+        options.trainer.epsilon = EpsilonSchedule::new(1.0, 0.1, 500);
+        options.candidates.truncate(1);
+        let ctx = crate::harness::ExperimentContext::with_scale(
+            DatasetKind::Bdd100k,
+            vec![ActionClass::CrossRight],
+            0.85,
+            0.1,
+            options,
+        );
+        let out = extension_serving(&ctx);
+        assert_eq!(out.id, "extension-serving");
+        for workers in ["1", "2", "4", "8"] {
+            assert!(
+                out.text
+                    .lines()
+                    .any(|l| l.trim_start().starts_with(workers)),
+                "missing row for {workers} devices:\n{}",
+                out.text
+            );
+        }
+        assert!(out.text.contains("Cache hits"));
+    }
+
+    #[test]
+    fn query_is_reused_not_retrained_across_targets() {
+        let _ = ActionQuery::new(ActionClass::CrossRight, 0.85);
+        // 24 identities in the serving experiment share one trained plan;
+        // the identity count is part of the experiment's contract.
+        let targets: Vec<f64> = (0..24).map(|i| 0.70 + 0.005 * i as f64).collect();
+        assert_eq!(targets.len(), 24);
+        assert!(targets.iter().all(|t| (0.0..1.0).contains(t)));
+    }
 }

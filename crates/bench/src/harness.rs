@@ -31,6 +31,10 @@ pub struct MethodOutcome {
 pub struct ExperimentContext {
     /// The generated corpus.
     pub dataset: SyntheticDataset,
+    /// Scale the corpus was generated at.
+    pub scale: f64,
+    /// Seed the corpus was generated with.
+    pub seed: u64,
     /// The planned query.
     pub query: ActionQuery,
     /// Planner options used.
@@ -42,7 +46,13 @@ pub struct ExperimentContext {
 impl ExperimentContext {
     /// Plan a query on a dataset at the default reproduction scale.
     pub fn new(kind: DatasetKind, classes: Vec<ActionClass>, target: f64) -> Self {
-        Self::with_scale(kind, classes, target, DEFAULT_SCALE, PlannerOptions::default())
+        Self::with_scale(
+            kind,
+            classes,
+            target,
+            DEFAULT_SCALE,
+            PlannerOptions::default(),
+        )
     }
 
     /// Plan with explicit scale and planner options.
@@ -59,6 +69,8 @@ impl ExperimentContext {
         let plan = planner.plan(&query);
         ExperimentContext {
             dataset,
+            scale,
+            seed: DEFAULT_SEED,
             query,
             options,
             plan,

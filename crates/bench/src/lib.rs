@@ -4,7 +4,6 @@
 //! `reproduce` binary (which regenerates every table and figure of the
 //! paper) and by the Criterion benches.
 
-
 #![warn(missing_docs)]
 pub mod experiments;
 pub mod harness;

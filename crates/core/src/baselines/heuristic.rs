@@ -167,7 +167,11 @@ mod tests {
         let slow_fr = dense
             .histogram
             .fractions_for(&[Configuration::new(300, 4, 1)]);
-        assert!(slow_fr[0] > 0.4, "slow fraction {} on dense video", slow_fr[0]);
+        assert!(
+            slow_fr[0] > 0.4,
+            "slow fraction {} on dense video",
+            slow_fr[0]
+        );
     }
 
     #[test]

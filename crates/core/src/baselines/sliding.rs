@@ -125,7 +125,10 @@ mod tests {
         let hits = labels[300..450].iter().filter(|&&b| b).count();
         assert!(hits > 120, "recalled {hits}/150 action frames");
         let fps_outside: usize = labels[..250].iter().filter(|&&b| b).count();
-        assert!(fps_outside < 50, "false positives before action: {fps_outside}");
+        assert!(
+            fps_outside < 50,
+            "false positives before action: {fps_outside}"
+        );
     }
 
     #[test]

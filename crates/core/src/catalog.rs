@@ -209,7 +209,9 @@ pub fn decode_plan(bytes: &[u8]) -> Result<StoredPlan, CatalogError> {
     }
     let version = r.u32()?;
     if version != VERSION {
-        return Err(CatalogError::Corrupt(format!("unsupported version {version}")));
+        return Err(CatalogError::Corrupt(format!(
+            "unsupported version {version}"
+        )));
     }
     let n_classes = r.u32()? as usize;
     if n_classes == 0 || n_classes > ActionClass::ALL.len() {
@@ -402,10 +404,7 @@ mod tests {
 
     #[test]
     fn key_is_stable_and_filesystem_safe() {
-        let q = ActionQuery::multi(
-            vec![ActionClass::CrossRight, ActionClass::CrossLeft],
-            0.85,
-        );
+        let q = ActionQuery::multi(vec![ActionClass::CrossRight, ActionClass::CrossLeft], 0.85);
         let k = PlanCatalog::key(&q);
         assert_eq!(k, "cross-right+cross-left-085.zpln");
     }

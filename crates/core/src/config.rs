@@ -49,7 +49,8 @@ impl ConfigSpace {
             !resolutions.is_empty() && !seg_lens.is_empty() && !sampling_rates.is_empty(),
             "knob lists must be non-empty"
         );
-        let mut configs = Vec::with_capacity(resolutions.len() * seg_lens.len() * sampling_rates.len());
+        let mut configs =
+            Vec::with_capacity(resolutions.len() * seg_lens.len() * sampling_rates.len());
         for &r in resolutions {
             for &l in seg_lens {
                 for &s in sampling_rates {
@@ -73,8 +74,7 @@ impl ConfigSpace {
         assert!(!configs.is_empty(), "need at least one configuration");
         let mut resolutions: Vec<usize> = configs.iter().map(|c| c.resolution).collect();
         let mut seg_lens: Vec<usize> = configs.iter().map(|c| c.seg_len).collect();
-        let mut sampling_rates: Vec<usize> =
-            configs.iter().map(|c| c.sampling_rate).collect();
+        let mut sampling_rates: Vec<usize> = configs.iter().map(|c| c.sampling_rate).collect();
         for v in [&mut resolutions, &mut seg_lens, &mut sampling_rates] {
             v.sort_unstable();
             v.dedup();
@@ -302,10 +302,7 @@ mod tests {
 
     #[test]
     fn from_configs_preserves_order() {
-        let configs = vec![
-            Configuration::new(300, 2, 1),
-            Configuration::new(150, 8, 8),
-        ];
+        let configs = vec![Configuration::new(300, 2, 1), Configuration::new(150, 8, 8)];
         let s = ConfigSpace::from_configs(configs.clone());
         assert_eq!(s.configs(), configs.as_slice());
         assert_eq!(s.max_resolution(), 300);

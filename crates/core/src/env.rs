@@ -75,10 +75,7 @@ impl VideoTraversalEnv {
     fn init_state(&mut self) {
         let video = &self.videos[self.order[self.vid_cursor]];
         let out = self.apfg.process(video, 0, self.init_config);
-        self.frame_cursor = self
-            .init_config
-            .frames_covered()
-            .min(video.num_frames);
+        self.frame_cursor = self.init_config.frames_covered().min(video.num_frames);
         self.state = out.feature;
     }
 
@@ -204,7 +201,10 @@ mod tests {
             }
         }
         let init_spans = env.videos.len() * env.init_config.frames_covered();
-        assert!(covered + init_spans >= total, "covered {covered} of {total}");
+        assert!(
+            covered + init_spans >= total,
+            "covered {covered} of {total}"
+        );
     }
 
     #[test]

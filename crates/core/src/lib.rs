@@ -18,7 +18,6 @@
 //! * [`parallel`] — the inter-video parallel executor extension sketched
 //!   in §6.4.
 
-
 #![warn(missing_docs)]
 pub mod baselines;
 pub mod catalog;
@@ -34,6 +33,8 @@ pub use baselines::{ExecutorKind, QueryEngine};
 pub use catalog::{PlanCatalog, StoredPlan};
 pub use config::{ConfigSpace, KnobMask};
 pub use metrics::{EvalProtocol, EvalReport};
-pub use planner::{ConfigProfile, EngineSet, PlannerOptions, QueryPlan, QueryPlanner, TrainingCosts};
+pub use planner::{
+    ConfigProfile, EngineSet, PlannerOptions, QueryPlan, QueryPlanner, TrainingCosts,
+};
 pub use query::{parse_query, ActionQuery, ParseError};
 pub use result::{ConfigHistogram, ExecutionResult, QueryResult};

@@ -218,10 +218,7 @@ mod tests {
     #[test]
     fn hand_computed_f1() {
         let mut r = EvalReport::default();
-        r.accumulate(
-            &[true, true, false, false],
-            &[true, false, true, false],
-        );
+        r.accumulate(&[true, true, false, false], &[true, false, true, false]);
         // tp=1 fp=1 fn=1 tn=1 → P = 0.5, R = 0.5, F1 = 0.5
         assert_eq!(r.precision(), 0.5);
         assert_eq!(r.recall(), 0.5);

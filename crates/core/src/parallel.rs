@@ -2,17 +2,144 @@
 //!
 //! "It is possible to extend Zeus-RL to support inter-video parallelism.
 //! Here, batching inputs across videos would allow better GPU utilization."
-//! This module executes a video set across `workers` simulated devices
-//! (each with its own clock) using real threads via `crossbeam`, and
-//! reports the *makespan* (the slowest device's elapsed time) — the
+//! This module executes a video set across a [`DevicePool`] of simulated
+//! devices (each with its own clock) using real threads via `crossbeam`,
+//! and reports the *makespan* (the slowest device's elapsed time) — the
 //! quantity that determines wall-clock speedup from adding devices.
+//!
+//! [`DevicePool`] is the shared hardware abstraction: the one-shot
+//! fork-join here creates a fresh pool per call, while the `zeus-serve`
+//! worker pool owns one long-lived pool whose device clocks accumulate
+//! busy-time across queries.
 
 use crossbeam::thread;
-use zeus_sim::SimClock;
+use zeus_sim::{DeviceProfile, SimClock, SimDevice};
 use zeus_video::Video;
 
 use crate::baselines::QueryEngine;
 use crate::result::{ConfigHistogram, ExecutionResult};
+
+/// A pool of simulated devices, the schedulable hardware of both the
+/// §6.4 fork-join executor and the `zeus-serve` worker pool.
+#[derive(Debug, Clone)]
+pub struct DevicePool {
+    devices: Vec<SimDevice>,
+}
+
+impl DevicePool {
+    /// A pool of `n` identical devices.
+    pub fn homogeneous(n: usize, profile: DeviceProfile) -> Self {
+        assert!(n > 0, "need at least one worker");
+        DevicePool {
+            devices: (0..n)
+                .map(|id| SimDevice::new(id, profile.clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the pool has no devices (never for a constructed pool).
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// The devices, in id order.
+    pub fn devices(&self) -> &[SimDevice] {
+        &self.devices
+    }
+
+    /// Consume the pool, yielding its devices (the serve worker pool hands
+    /// one device to each worker thread).
+    pub fn into_devices(self) -> Vec<SimDevice> {
+        self.devices
+    }
+
+    /// Per-device accumulated busy seconds.
+    pub fn busy_secs(&self) -> Vec<f64> {
+        self.devices.iter().map(SimDevice::busy_secs).collect()
+    }
+
+    /// Fork-join execute `videos` across the pool: device `i` runs videos
+    /// `i, i + n, i + 2n, ...` on its own clock; results merge
+    /// deterministically by video id. Device clocks accumulate (call on a
+    /// fresh pool for a standalone measurement).
+    pub fn fork_join<E>(&mut self, engine: &E, videos: &[&Video]) -> ParallelResult
+    where
+        E: QueryEngine + Sync,
+    {
+        let workers = self.devices.len();
+        let shares: Vec<Vec<&Video>> = (0..workers)
+            .map(|w| {
+                videos
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % workers == w)
+                    .map(|(_, v)| *v)
+                    .collect()
+            })
+            .collect();
+
+        let outcomes: Vec<(ExecutionResult, f64)> = thread::scope(|s| {
+            let handles: Vec<_> = self
+                .devices
+                .iter_mut()
+                .zip(&shares)
+                .map(|(device, share)| {
+                    s.spawn(move |_| {
+                        let before = device.busy_secs();
+                        let mut clock = SimClock::new();
+                        let mut hist = ConfigHistogram::new();
+                        let mut labels = Vec::with_capacity(share.len());
+                        for v in share {
+                            let l = engine.execute_video(v, &mut clock, &mut hist);
+                            labels.push((v.id, l));
+                        }
+                        device.clock_mut().merge(&clock);
+                        let secs = device.busy_secs() - before;
+                        (
+                            ExecutionResult {
+                                labels,
+                                clock,
+                                histogram: hist,
+                            },
+                            secs,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        })
+        .expect("thread scope failed");
+
+        let mut merged_labels = Vec::new();
+        let mut merged_clock = SimClock::new();
+        let mut merged_hist = ConfigHistogram::new();
+        let mut worker_secs = Vec::with_capacity(outcomes.len());
+        for (result, secs) in outcomes {
+            merged_labels.extend(result.labels);
+            merged_clock.merge(&result.clock);
+            merged_hist.merge(&result.histogram);
+            worker_secs.push(secs);
+        }
+        merged_labels.sort_by_key(|(id, _)| *id);
+
+        ParallelResult {
+            merged: ExecutionResult {
+                labels: merged_labels,
+                clock: merged_clock,
+                histogram: merged_hist,
+            },
+            worker_secs,
+        }
+    }
+}
 
 /// Result of a parallel run: the merged predictions plus per-worker
 /// simulated clocks.
@@ -54,79 +181,20 @@ impl ParallelResult {
     }
 }
 
-/// Execute `videos` with `engine` across `workers` simulated devices.
+/// Execute `videos` with `engine` across `workers` fresh simulated
+/// devices.
 ///
 /// Videos are assigned round-robin (longest-first would be better for
 /// balance; round-robin matches a streaming arrival order). Each worker
 /// thread runs its share with an independent clock; results merge
-/// deterministically by video id.
+/// deterministically by video id. This is a convenience wrapper around
+/// [`DevicePool::fork_join`] on a throwaway pool.
 pub fn execute_parallel<E>(engine: &E, videos: &[&Video], workers: usize) -> ParallelResult
 where
     E: QueryEngine + Sync,
 {
     assert!(workers > 0, "need at least one worker");
-    let shares: Vec<Vec<&Video>> = (0..workers)
-        .map(|w| {
-            videos
-                .iter()
-                .enumerate()
-                .filter(|(i, _)| i % workers == w)
-                .map(|(_, v)| *v)
-                .collect()
-        })
-        .collect();
-
-    let outcomes: Vec<(ExecutionResult, f64)> = thread::scope(|s| {
-        let handles: Vec<_> = shares
-            .iter()
-            .map(|share| {
-                s.spawn(move |_| {
-                    let mut clock = SimClock::new();
-                    let mut hist = ConfigHistogram::new();
-                    let mut labels = Vec::with_capacity(share.len());
-                    for v in share {
-                        let l = engine.execute_video(v, &mut clock, &mut hist);
-                        labels.push((v.id, l));
-                    }
-                    let secs = clock.elapsed_secs();
-                    (
-                        ExecutionResult {
-                            labels,
-                            clock,
-                            histogram: hist,
-                        },
-                        secs,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    })
-    .expect("thread scope failed");
-
-    let mut merged_labels = Vec::new();
-    let mut merged_clock = SimClock::new();
-    let mut merged_hist = ConfigHistogram::new();
-    let mut worker_secs = Vec::with_capacity(outcomes.len());
-    for (result, secs) in outcomes {
-        merged_labels.extend(result.labels);
-        merged_clock.merge(&result.clock);
-        merged_hist.merge(&result.histogram);
-        worker_secs.push(secs);
-    }
-    merged_labels.sort_by_key(|(id, _)| *id);
-
-    ParallelResult {
-        merged: ExecutionResult {
-            labels: merged_labels,
-            clock: merged_clock,
-            histogram: merged_hist,
-        },
-        worker_secs,
-    }
+    DevicePool::homogeneous(workers, DeviceProfile::default()).fork_join(engine, videos)
 }
 
 #[cfg(test)]
@@ -179,5 +247,23 @@ mod tests {
         let ds = DatasetKind::Bdd100k.generate(0.02, 5);
         let videos = ds.store.split(zeus_video::video::Split::Test);
         let _ = execute_parallel(&engine(), &videos, 0);
+    }
+
+    #[test]
+    fn pool_devices_accumulate_across_fork_joins() {
+        let ds = DatasetKind::Bdd100k.generate(0.04, 5);
+        let videos = ds.store.split(zeus_video::video::Split::Test);
+        let e = engine();
+        let mut pool = DevicePool::homogeneous(3, zeus_sim::DeviceProfile::default());
+        assert_eq!(pool.len(), 3);
+        let first = pool.fork_join(&e, &videos);
+        let after_one: f64 = pool.busy_secs().iter().sum();
+        let second = pool.fork_join(&e, &videos);
+        let after_two: f64 = pool.busy_secs().iter().sum();
+        // Device clocks persist: two identical runs double the busy time.
+        assert!((after_two - 2.0 * after_one).abs() < 1e-9);
+        // Results are per-run, not cumulative.
+        assert_eq!(first.merged.labels, second.merged.labels);
+        assert_eq!(first.worker_secs, second.worker_secs);
     }
 }

@@ -14,8 +14,8 @@ use zeus_sim::{CostModel, DeviceProfile};
 use zeus_video::video::Split;
 use zeus_video::{SyntheticDataset, Video};
 
-use crate::baselines::{FramePp, SegmentPp, ZeusHeuristic, ZeusRl, ZeusSliding};
 use crate::baselines::QueryEngine;
+use crate::baselines::{FramePp, SegmentPp, ZeusHeuristic, ZeusRl, ZeusSliding};
 use crate::config::{ConfigSpace, KnobMask};
 use crate::env::VideoTraversalEnv;
 use crate::metrics::EvalProtocol;
@@ -257,10 +257,7 @@ impl<'a> QueryPlanner<'a> {
 
     /// The fastest configuration meeting the target accuracy; falls back
     /// to the most accurate configuration when none qualifies (§4.2).
-    pub fn select_sliding_config(
-        profiles: &[ConfigProfile],
-        target: f64,
-    ) -> Configuration {
+    pub fn select_sliding_config(profiles: &[ConfigProfile], target: f64) -> Configuration {
         profiles
             .iter()
             .filter(|p| p.f1_lcb >= target)
@@ -324,8 +321,7 @@ impl<'a> QueryPlanner<'a> {
 
     /// Plan a query end-to-end: profile, select, train (Algorithm 1 + 2).
     pub fn plan(&self, query: &ActionQuery) -> QueryPlan {
-        let space =
-            ConfigSpace::for_dataset(self.dataset.kind()).masked(self.options.knob_mask);
+        let space = ConfigSpace::for_dataset(self.dataset.kind()).masked(self.options.knob_mask);
         let apfg = self.build_apfg(query, &space);
         let protocol = EvalProtocol::for_dataset(self.dataset.kind());
 
@@ -335,15 +331,13 @@ impl<'a> QueryPlanner<'a> {
 
         // 2. Zeus-Sliding's static configuration (LCB selection absorbs
         // the winner's-curse bias of maximising over 27-64 configs).
-        let sliding_config =
-            Self::select_sliding_config(&profiles, query.target_accuracy);
+        let sliding_config = Self::select_sliding_config(&profiles, query.target_accuracy);
 
         // 2b. Configuration planning: the agent acts over the Pareto
         // frontier of the profiled space.
         let frontier =
             Self::thin_frontier(Self::pareto_frontier(&profiles), self.options.max_actions);
-        let frontier_configs: Vec<Configuration> =
-            frontier.iter().map(|p| p.config).collect();
+        let frontier_configs: Vec<Configuration> = frontier.iter().map(|p| p.config).collect();
         let exec_space = space.restricted_to(&frontier_configs);
 
         // 3. Train the RL agent on the training split.
@@ -512,8 +506,7 @@ impl<'a> QueryPlanner<'a> {
 
         let updates = report.updates as f64;
         let steps = report.steps as f64;
-        let rl_training_secs = updates
-            * self.cost.dqn_update(trainer_cfg.batch_size).as_secs()
+        let rl_training_secs = updates * self.cost.dqn_update(trainer_cfg.batch_size).as_secs()
             + steps * self.cost.mlp_head().as_secs() * 2.0;
 
         TrainingCosts {
@@ -681,7 +674,7 @@ mod tests {
         assert!(plan.costs.apfg_training_secs > 0.0);
         assert!(plan.costs.rl_training_secs > 0.0);
         // The trained policy must be usable.
-        let a = plan.policy.act(&vec![0.0; zeus_apfg::FEATURE_DIM]);
+        let a = plan.policy.act(&[0.0; zeus_apfg::FEATURE_DIM]);
         assert!(a < plan.space.len());
     }
 
@@ -708,8 +701,10 @@ mod tests {
     #[test]
     fn ensemble_training_is_much_costlier() {
         let ds = DatasetKind::Bdd100k.generate(0.05, 11);
-        let mut opts = PlannerOptions::default();
-        opts.per_config_ensemble = true;
+        let opts = PlannerOptions {
+            per_config_ensemble: true,
+            ..PlannerOptions::default()
+        };
         let planner = QueryPlanner::new(&ds, opts);
         let space = ConfigSpace::for_dataset(DatasetKind::Bdd100k);
         let report = TrainingReport::default();

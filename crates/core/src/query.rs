@@ -208,10 +208,7 @@ mod tests {
 
     #[test]
     fn roundtrips_through_to_sql() {
-        let q = ActionQuery::multi(
-            vec![ActionClass::CrossRight, ActionClass::LeftTurn],
-            0.85,
-        );
+        let q = ActionQuery::multi(vec![ActionClass::CrossRight, ActionClass::LeftTurn], 0.85);
         let parsed = parse_query(&q.to_sql()).unwrap();
         assert_eq!(parsed, q);
     }

@@ -35,8 +35,7 @@ impl ConfigHistogram {
 
     /// Frames per configuration, sorted by configuration for determinism.
     pub fn entries(&self) -> Vec<(Configuration, u64)> {
-        let mut v: Vec<(Configuration, u64)> =
-            self.counts.iter().map(|(&c, &n)| (c, n)).collect();
+        let mut v: Vec<(Configuration, u64)> = self.counts.iter().map(|(&c, &n)| (c, n)).collect();
         v.sort_by_key(|(c, _)| (c.resolution, c.seg_len, c.sampling_rate));
         v
     }

@@ -65,7 +65,14 @@ pub struct Conv3d {
 
 impl Conv3d {
     /// Create a conv layer with He-normal init (`fan_in = in_c * k^3`).
-    pub fn new(in_c: usize, out_c: usize, k: usize, stride: usize, padding: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         assert!(k >= 1 && stride >= 1, "kernel and stride must be >= 1");
         let fan_in = in_c * k * k * k;
         let weight = Param::new(init::he_normal(fan_in, out_c * fan_in, rng));
@@ -133,7 +140,13 @@ impl Conv3d {
                                         if iw < 0 || iw >= shape.w as isize {
                                             continue;
                                         }
-                                        let xv = xs[vol_index(&shape, ic, il as usize, ih as usize, iw as usize)];
+                                        let xv = xs[vol_index(
+                                            &shape,
+                                            ic,
+                                            il as usize,
+                                            ih as usize,
+                                            iw as usize,
+                                        )];
                                         let wv = ws[self.widx(oc, ic, kl, kh, kw)];
                                         acc += xv * wv;
                                     }
@@ -195,7 +208,13 @@ impl Conv3d {
                                         if iw < 0 || iw >= shape.w as isize {
                                             continue;
                                         }
-                                        let xi = vol_index(&shape, ic, il as usize, ih as usize, iw as usize);
+                                        let xi = vol_index(
+                                            &shape,
+                                            ic,
+                                            il as usize,
+                                            ih as usize,
+                                            iw as usize,
+                                        );
                                         let wi = self.widx(oc, ic, kl, kh, kw);
                                         dw[wi] += g * xs[xi];
                                         dx[xi] += g * ws[wi];
@@ -328,9 +347,7 @@ impl GlobalAvgPool3d {
 
     /// Backward pass: spread each channel gradient uniformly.
     pub fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let shape = self
-            .cached_shape
-            .expect("backward called before forward");
+        let shape = self.cached_shape.expect("backward called before forward");
         let spatial = shape.l * shape.h * shape.w;
         assert_eq!(grad_out.len(), shape.c);
         let mut dx = vec![0.0f32; shape.len()];

@@ -23,7 +23,6 @@
 //! explicit RNG so the benchmark harness can regenerate the paper's tables
 //! bit-for-bit.
 
-
 #![warn(missing_docs)]
 pub mod activation;
 pub mod conv;

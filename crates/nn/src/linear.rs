@@ -177,6 +177,9 @@ mod tests {
         let analytic = l.w.grad.clone();
 
         let eps = 1e-3f32;
+        // Index-based: the loop both perturbs `l.w.value[i]` and reads
+        // `analytic[i]`, which an iterator cannot borrow simultaneously.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..l.w.value.len() {
             let orig = l.w.value[i];
             l.w.value[i] = orig + eps;

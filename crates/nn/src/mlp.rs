@@ -56,10 +56,7 @@ impl Mlp {
 
     /// Total number of scalar parameters.
     pub fn param_count(&self) -> usize {
-        self.layers
-            .iter()
-            .map(|l| l.w.len() + l.b.len())
-            .sum()
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
     }
 
     /// Training forward pass (caches activations for `backward`).
@@ -235,15 +232,14 @@ mod tests {
         let y = net.forward(&x);
         let dy = Tensor::full(y.shape(), 1.0);
         let _ = net.backward(&dy);
-        let analytic: Vec<Vec<f32>> = net
-            .params_mut()
-            .iter()
-            .map(|p| p.grad.clone())
-            .collect();
+        let analytic: Vec<Vec<f32>> = net.params_mut().iter().map(|p| p.grad.clone()).collect();
 
         // Numeric gradients.
         let eps = 1e-3f32;
         let n_params = analytic.len();
+        // Index-based: the loop perturbs `params_mut()[pi]` while reading
+        // `analytic[pi]`, which an iterator cannot borrow simultaneously.
+        #[allow(clippy::needless_range_loop)]
         for pi in 0..n_params {
             let plen = analytic[pi].len();
             for j in (0..plen).step_by(3) {
@@ -301,7 +297,10 @@ mod tests {
         assert_eq!(rebuilt.in_dim(), 5);
         assert_eq!(rebuilt.out_dim(), 3);
         let x = Tensor::from_vec(&[2, 5], (0..10).map(|i| i as f32 / 10.0).collect());
-        assert_eq!(original.forward_inference(&x), rebuilt.forward_inference(&x));
+        assert_eq!(
+            original.forward_inference(&x),
+            rebuilt.forward_inference(&x)
+        );
     }
 
     #[test]

@@ -50,12 +50,7 @@ impl Optimizer for Sgd {
         }
         for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
             assert_eq!(p.len(), v.len(), "parameter shape changed mid-training");
-            for ((w, g), vel) in p
-                .value
-                .iter_mut()
-                .zip(p.grad.iter())
-                .zip(v.iter_mut())
-            {
+            for ((w, g), vel) in p.value.iter_mut().zip(p.grad.iter()).zip(v.iter_mut()) {
                 *vel = self.momentum * *vel + g;
                 *w -= self.lr * *vel;
             }

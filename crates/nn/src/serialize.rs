@@ -119,7 +119,10 @@ mod tests {
     #[test]
     fn rejects_truncation() {
         let bytes = encode(&[vec![1.0, 2.0]]);
-        assert_eq!(decode(&bytes[..bytes.len() - 3]), Err(DecodeError::BadLength));
+        assert_eq!(
+            decode(&bytes[..bytes.len() - 3]),
+            Err(DecodeError::BadLength)
+        );
         assert_eq!(decode(&bytes[..5]), Err(DecodeError::Truncated));
     }
 

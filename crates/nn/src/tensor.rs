@@ -375,10 +375,7 @@ impl Tensor {
 
     /// Maximum element. Panics on an empty tensor.
     pub fn max(&self) -> f32 {
-        self.data
-            .iter()
-            .copied()
-            .fold(f32::NEG_INFINITY, f32::max)
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Index of the maximum element of a 1-D tensor (first on ties).

@@ -172,8 +172,7 @@ impl DqnAgent {
 
         self.q.zero_grad();
         let pred = self.q.forward(&states);
-        let (loss, grad) =
-            loss::huber_selected(&pred, &actions, &targets, self.cfg.huber_delta);
+        let (loss, grad) = loss::huber_selected(&pred, &actions, &targets, self.cfg.huber_delta);
         let _ = self.q.backward(&grad);
         let mut params = self.q.params_mut();
         clip_grad_norm(&mut params, self.cfg.grad_clip);

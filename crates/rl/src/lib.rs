@@ -19,7 +19,6 @@
 //!   environment), warm-up, periodic updates, target sync.
 //! * [`schedule::EpsilonSchedule`] — linear exploration decay.
 
-
 #![warn(missing_docs)]
 pub mod agent;
 pub mod env;

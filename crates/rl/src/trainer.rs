@@ -232,11 +232,7 @@ impl DqnTrainer {
         let mut window_gt: Vec<bool> = Vec::new();
         let mut window_pred: Vec<bool> = Vec::new();
         let mut window_alpha = 0.0f32; // frame-weighted fastness
-        let alpha_max = env
-            .alphas()
-            .iter()
-            .fold(0.0f32, |a, &b| a.max(b))
-            .max(1e-9);
+        let alpha_max = env.alphas().iter().fold(0.0f32, |a, &b| a.max(b)).max(1e-9);
 
         loop {
             let eps = if self.replay_len() < self.cfg.warmup {
@@ -301,8 +297,7 @@ impl DqnTrainer {
                             }
                         };
                         for p in pending.drain(..) {
-                            let r_i =
-                                r + local_mix * local_reward(p.alpha, beta, p.has_action);
+                            let r_i = r + local_mix * local_reward(p.alpha, beta, p.has_action);
                             reward_sum += r_i;
                             reward_count += 1;
                             self.push_experience(
@@ -324,7 +319,9 @@ impl DqnTrainer {
             }
 
             if self.replay_len() >= self.cfg.warmup
-                && self.global_step.is_multiple_of(self.cfg.update_every as u64)
+                && self
+                    .global_step
+                    .is_multiple_of(self.cfg.update_every as u64)
             {
                 let batch = self.sample_batch();
                 let refs: Vec<&Experience> = batch.iter().collect();
@@ -364,11 +361,7 @@ impl DqnTrainer {
             let mut window_gt: Vec<bool> = Vec::new();
             let mut window_pred: Vec<bool> = Vec::new();
             let mut window_alpha = 0.0f32;
-            let alpha_max = env
-                .alphas()
-                .iter()
-                .fold(0.0f32, |a, &b| a.max(b))
-                .max(1e-9);
+            let alpha_max = env.alphas().iter().fold(0.0f32, |a, &b| a.max(b)).max(1e-9);
             let mut decisions = 0u32;
             loop {
                 let action = self.agent.greedy_action(&state);
@@ -395,14 +388,11 @@ impl DqnTrainer {
                         if window_gt.len() >= window_frames || t.done {
                             let outcome = window_outcome(&window_gt, &window_pred, eval_window);
                             let r = match outcome.accuracy {
-                                Some(acc) => aggregate_reward_scaled(
-                                    acc,
-                                    target_accuracy,
-                                    deficit_scale,
-                                ),
+                                Some(acc) => {
+                                    aggregate_reward_scaled(acc, target_accuracy, deficit_scale)
+                                }
                                 None => {
-                                    let mean_alpha =
-                                        window_alpha / window_gt.len().max(1) as f32;
+                                    let mean_alpha = window_alpha / window_gt.len().max(1) as f32;
                                     fastness_bonus * (mean_alpha / alpha_max)
                                         - fp_penalty * outcome.fp_fraction as f32
                                 }

@@ -1,0 +1,301 @@
+//! Serving telemetry: latency percentiles, throughput, queue depth, shed
+//! and cache counters, device utilization.
+//!
+//! [`ServeMetrics`] is the live, thread-safe recorder the server updates;
+//! [`MetricsSnapshot`] is the immutable view handed to operators (and
+//! printed by `zeus serve-bench`). Latency is wall-clock (queueing +
+//! scheduling + the real CPU cost of simulated execution); device seconds
+//! are simulated time, so the two axes are reported separately.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Default)]
+struct MetricsInner {
+    submitted: u64,
+    admitted: u64,
+    shed: u64,
+    rejected_no_plan: u64,
+    completed: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    coalesced: u64,
+    latencies_us: Vec<u64>,
+    device_secs: f64,
+    frames: u64,
+    first_completion: Option<Instant>,
+    last_completion: Option<Instant>,
+}
+
+/// Live serving counters (interior-mutable, shared across workers).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    inner: Mutex<MetricsInner>,
+}
+
+impl ServeMetrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a submission attempt.
+    pub fn on_submit(&self) {
+        self.inner.lock().unwrap().submitted += 1;
+    }
+
+    /// Record an admission into the queue.
+    pub fn on_admit(&self) {
+        self.inner.lock().unwrap().admitted += 1;
+    }
+
+    /// Record a load-shed rejection.
+    pub fn on_shed(&self) {
+        self.inner.lock().unwrap().shed += 1;
+    }
+
+    /// Record a no-plan rejection.
+    pub fn on_no_plan(&self) {
+        self.inner.lock().unwrap().rejected_no_plan += 1;
+    }
+
+    /// Record a result-cache hit answering a query without execution.
+    pub fn on_cache_hit(&self, latency: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.cache_hits += 1;
+        Self::complete(&mut inner, latency, 0.0, 0);
+    }
+
+    /// Record a completed execution (cache miss path).
+    pub fn on_executed(&self, latency: Duration, device_secs: f64, frames: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.cache_misses += 1;
+        Self::complete(&mut inner, latency, device_secs, frames);
+    }
+
+    /// Record a submission answered by coalescing onto an in-flight
+    /// identical query (no execution of its own).
+    pub fn on_coalesced(&self, latency: Duration) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.coalesced += 1;
+        Self::complete(&mut inner, latency, 0.0, 0);
+    }
+
+    fn complete(inner: &mut MetricsInner, latency: Duration, device_secs: f64, frames: u64) {
+        inner.completed += 1;
+        inner.latencies_us.push(latency.as_micros() as u64);
+        inner.device_secs += device_secs;
+        inner.frames += frames;
+        let now = Instant::now();
+        inner.first_completion.get_or_insert(now);
+        inner.last_completion = Some(now);
+    }
+
+    /// Take an immutable snapshot (queue depth and per-device busy time
+    /// are sampled by the caller, which owns those structures).
+    pub fn snapshot(&self, queue_depth: usize, device_busy_secs: Vec<f64>) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        let mut sorted = inner.latencies_us.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> Duration {
+            if sorted.is_empty() {
+                return Duration::ZERO;
+            }
+            let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
+            Duration::from_micros(sorted[rank - 1])
+        };
+        let mean = if sorted.is_empty() {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(sorted.iter().sum::<u64>() / sorted.len() as u64)
+        };
+        let wall = match (inner.first_completion, inner.last_completion) {
+            (Some(a), Some(b)) if b > a => (b - a).as_secs_f64(),
+            _ => 0.0,
+        };
+        MetricsSnapshot {
+            submitted: inner.submitted,
+            admitted: inner.admitted,
+            shed: inner.shed,
+            rejected_no_plan: inner.rejected_no_plan,
+            completed: inner.completed,
+            cache_hits: inner.cache_hits,
+            cache_misses: inner.cache_misses,
+            coalesced: inner.coalesced,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            mean,
+            throughput_qps: if wall > 0.0 {
+                // First completion anchors the window, so it is excluded
+                // from the rate numerator.
+                (inner.completed.saturating_sub(1)) as f64 / wall
+            } else {
+                0.0
+            },
+            queue_depth,
+            device_secs: inner.device_secs,
+            frames: inner.frames,
+            device_busy_secs,
+        }
+    }
+}
+
+/// Point-in-time view of serving health.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Submission attempts (admitted + shed + no-plan rejections).
+    pub submitted: u64,
+    /// Requests admitted to the queue (or answered from cache).
+    pub admitted: u64,
+    /// Requests shed at admission (queue full).
+    pub shed: u64,
+    /// Requests refused for want of a stored plan.
+    pub rejected_no_plan: u64,
+    /// Queries answered (executed or from cache).
+    pub completed: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses (executed queries).
+    pub cache_misses: u64,
+    /// Submissions coalesced onto an in-flight identical query.
+    pub coalesced: u64,
+    /// Median completion latency (wall clock).
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// 99th-percentile latency.
+    pub p99: Duration,
+    /// Mean latency.
+    pub mean: Duration,
+    /// Completions per wall-clock second over the completion window.
+    pub throughput_qps: f64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: usize,
+    /// Total simulated device seconds charged.
+    pub device_secs: f64,
+    /// Total video frames covered by executed queries.
+    pub frames: u64,
+    /// Per-device simulated busy seconds at snapshot time.
+    pub device_busy_secs: Vec<f64>,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of completed queries answered without their own
+    /// execution (cache hits + coalesced followers), in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.coalesced + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.coalesced) as f64 / total as f64
+        }
+    }
+
+    /// Shed rate over submissions, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Imbalance of simulated load across devices: max/mean busy time
+    /// (1.0 = perfectly balanced; meaningless with idle pools).
+    pub fn device_imbalance(&self) -> f64 {
+        let n = self.device_busy_secs.len();
+        if n == 0 {
+            return 1.0;
+        }
+        let total: f64 = self.device_busy_secs.iter().sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let max = self.device_busy_secs.iter().cloned().fold(0.0, f64::max);
+        max / (total / n as f64)
+    }
+}
+
+impl std::fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "completed {}/{} (shed {}, no-plan {}), queue depth {}",
+            self.completed, self.submitted, self.shed, self.rejected_no_plan, self.queue_depth
+        )?;
+        writeln!(
+            f,
+            "latency p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms  mean {:.2} ms",
+            self.p50.as_secs_f64() * 1e3,
+            self.p95.as_secs_f64() * 1e3,
+            self.p99.as_secs_f64() * 1e3,
+            self.mean.as_secs_f64() * 1e3,
+        )?;
+        writeln!(
+            f,
+            "throughput {:.1} queries/s  cache hit rate {:.0}% ({} hits + {} coalesced / {} executed)",
+            self.throughput_qps,
+            self.cache_hit_rate() * 100.0,
+            self.cache_hits,
+            self.coalesced,
+            self.cache_misses,
+        )?;
+        write!(
+            f,
+            "device time {:.1} simulated s over {} frames; imbalance {:.2}",
+            self.device_secs,
+            self.frames,
+            self.device_imbalance()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let m = ServeMetrics::new();
+        for ms in 1..=100u64 {
+            m.on_executed(Duration::from_millis(ms), 0.5, 10);
+        }
+        let snap = m.snapshot(3, vec![1.0, 2.0]);
+        assert_eq!(snap.completed, 100);
+        assert_eq!(snap.p50, Duration::from_millis(50));
+        assert_eq!(snap.p95, Duration::from_millis(95));
+        assert_eq!(snap.p99, Duration::from_millis(99));
+        assert_eq!(snap.queue_depth, 3);
+        assert!((snap.device_secs - 50.0).abs() < 1e-9);
+        assert_eq!(snap.frames, 1000);
+        assert!((snap.device_imbalance() - 2.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rates_count_hits_and_sheds() {
+        let m = ServeMetrics::new();
+        m.on_submit();
+        m.on_submit();
+        m.on_submit();
+        m.on_admit();
+        m.on_shed();
+        m.on_no_plan();
+        m.on_cache_hit(Duration::from_micros(10));
+        m.on_executed(Duration::from_millis(5), 1.0, 100);
+        let snap = m.snapshot(0, vec![]);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.rejected_no_plan, 1);
+        assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
+        assert!((snap.shed_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_sane() {
+        let snap = ServeMetrics::new().snapshot(0, vec![]);
+        assert_eq!(snap.p50, Duration::ZERO);
+        assert_eq!(snap.throughput_qps, 0.0);
+        assert_eq!(snap.cache_hit_rate(), 0.0);
+        let _ = format!("{snap}");
+    }
+}

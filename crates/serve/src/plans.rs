@@ -1,0 +1,177 @@
+//! Plan resolution with reuse: in-memory map in front of the on-disk
+//! [`PlanCatalog`].
+//!
+//! Planning a query costs minutes of simulated APFG fine-tuning plus RL
+//! training (Table 6); the serving layer must never pay it on the request
+//! path. A [`PlanStore`] resolves queries to [`StoredPlan`]s through two
+//! tiers — a process-local map, then the `.zpln` catalog directory — and
+//! exposes [`PlanStore::install`] for warming either tier ahead of
+//! traffic. A query with no resolvable plan is refused at admission
+//! (`AdmitError::NoPlan`) rather than trained inline.
+
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use zeus_core::catalog::{decode_plan, encode_plan, PlanCatalog, StoredPlan};
+use zeus_core::planner::QueryPlan;
+use zeus_core::query::ActionQuery;
+
+/// Exact in-memory key for a query: the catalog key rounds the accuracy
+/// target to integer percent, so it is disambiguated with the raw target
+/// bits (0.846 and 0.854 are distinct plans even though both round to
+/// `...-085`).
+type MemKey = (String, u64);
+
+fn mem_key(query: &ActionQuery) -> MemKey {
+    (PlanCatalog::key(query), query.target_accuracy.to_bits())
+}
+
+/// Two-tier plan resolver: memory, then catalog.
+pub struct PlanStore {
+    catalog: Option<PlanCatalog>,
+    mem: RwLock<HashMap<MemKey, Arc<StoredPlan>>>,
+}
+
+impl PlanStore {
+    /// A store with no disk tier (plans must be installed explicitly).
+    pub fn in_memory() -> Self {
+        PlanStore {
+            catalog: None,
+            mem: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// A store backed by a catalog directory: plans persisted by earlier
+    /// `zeus plan` invocations are reused without retraining, and
+    /// installed plans are persisted for future processes.
+    pub fn with_catalog(dir: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        Ok(PlanStore {
+            catalog: Some(PlanCatalog::open(dir)?),
+            mem: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Install a freshly-trained plan into both tiers. Returns the
+    /// catalog path when a disk tier exists.
+    pub fn install(
+        &self,
+        plan: &QueryPlan,
+        apfg_seed: u64,
+    ) -> io::Result<Option<std::path::PathBuf>> {
+        // Round-trip through the catalog codec so the installed plan is
+        // exactly what a catalog load would produce (same policy bytes,
+        // same rebuilt APFG) — serving behaviour cannot depend on whether
+        // the plan came from memory or disk.
+        let stored =
+            decode_plan(&encode_plan(plan, apfg_seed)).expect("freshly encoded plan must decode");
+        self.mem
+            .write()
+            .insert(mem_key(&stored.query), Arc::new(stored));
+        match &self.catalog {
+            Some(catalog) => Ok(Some(catalog.save(plan, apfg_seed)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Install an already-materialized stored plan into the memory tier
+    /// (no disk write). Used to share one trained policy across many
+    /// query identities — e.g. the same class served at many accuracy
+    /// targets — without retraining per identity.
+    pub fn install_stored(&self, stored: StoredPlan) {
+        self.mem
+            .write()
+            .insert(mem_key(&stored.query), Arc::new(stored));
+    }
+
+    /// Resolve a query to a stored plan: memory first, then catalog
+    /// (memoizing a disk hit). `None` means the query was never planned.
+    pub fn get(&self, query: &ActionQuery) -> Option<Arc<StoredPlan>> {
+        let key = mem_key(query);
+        if let Some(plan) = self.mem.read().get(&key) {
+            return Some(Arc::clone(plan));
+        }
+        let catalog = self.catalog.as_ref()?;
+        match catalog.load(query) {
+            // Catalog file names round the target, so a loaded plan may
+            // have been trained for a *different* exact target; serve it
+            // only when it matches the request precisely.
+            Ok(Some(stored)) if &stored.query == query => {
+                let plan = Arc::new(stored);
+                self.mem.write().insert(key, Arc::clone(&plan));
+                Some(plan)
+            }
+            Ok(Some(stored)) => {
+                eprintln!(
+                    "plan catalog: '{}' holds a plan for target {} (requested {}); treating as a miss",
+                    key.0, stored.query.target_accuracy, query.target_accuracy
+                );
+                None
+            }
+            Ok(None) => None,
+            Err(e) => {
+                // A corrupt plan file must not take serving down; treat it
+                // as a miss (the operator re-plans).
+                eprintln!(
+                    "plan catalog: ignoring unreadable plan for '{}': {e}",
+                    key.0
+                );
+                None
+            }
+        }
+    }
+
+    /// Number of plans resident in memory.
+    pub fn resident(&self) -> usize {
+        self.mem.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zeus_core::planner::{PlannerOptions, QueryPlanner};
+    use zeus_video::{ActionClass, DatasetKind};
+
+    fn tiny_plan() -> (QueryPlan, u64) {
+        let ds = DatasetKind::Bdd100k.generate(0.08, 3);
+        let mut options = PlannerOptions::default();
+        options.trainer.episodes = 2;
+        options.trainer.warmup = 64;
+        options.candidates.truncate(1);
+        let seed = options.seed;
+        let planner = QueryPlanner::new(&ds, options);
+        let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85));
+        (plan, seed)
+    }
+
+    #[test]
+    fn install_then_get_resolves_in_memory() {
+        let (plan, seed) = tiny_plan();
+        let store = PlanStore::in_memory();
+        assert!(store.get(&plan.query).is_none());
+        store.install(&plan, seed).unwrap();
+        let stored = store.get(&plan.query).expect("installed");
+        assert_eq!(stored.query, plan.query);
+        assert_eq!(store.resident(), 1);
+    }
+
+    #[test]
+    fn catalog_tier_survives_a_new_store() {
+        let (plan, seed) = tiny_plan();
+        let dir = std::env::temp_dir().join(format!("zeus-serve-plans-{}", std::process::id()));
+        {
+            let store = PlanStore::with_catalog(&dir).unwrap();
+            store.install(&plan, seed).unwrap();
+        }
+        // A fresh store (fresh process, conceptually) resolves from disk —
+        // the query is *not* re-planned.
+        let store = PlanStore::with_catalog(&dir).unwrap();
+        assert_eq!(store.resident(), 0);
+        let stored = store.get(&plan.query).expect("catalog hit");
+        assert_eq!(stored.query, plan.query);
+        assert_eq!(store.resident(), 1, "disk hit must be memoized");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

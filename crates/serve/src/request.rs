@@ -1,0 +1,193 @@
+//! Typed requests and streamed responses.
+//!
+//! A client submits an [`zeus_core::query::ActionQuery`] with a
+//! [`Priority`]; the server answers over a typed channel: one
+//! [`ResponseEvent::Video`] per finished video (in completion order —
+//! results stream as devices finish) and a final [`ResponseEvent::Done`]
+//! carrying the assembled, canonically-ordered [`QueryOutcome`].
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use zeus_core::query::ActionQuery;
+use zeus_core::result::QueryResult;
+use zeus_core::ExecutorKind;
+use zeus_video::VideoId;
+
+/// Server-assigned query identifier (monotonic per server).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Admission-control priority classes, highest first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Priority {
+    /// Latency-sensitive dashboard/interactive queries.
+    Interactive,
+    /// Normal application traffic.
+    Standard,
+    /// Throughput-oriented background analytics.
+    Batch,
+}
+
+impl Priority {
+    /// All classes, highest priority first.
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Index into per-class tables (0 = highest).
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One event on a query's response stream.
+#[derive(Debug, Clone)]
+pub enum ResponseEvent {
+    /// A video finished processing (streamed in completion order).
+    Video {
+        /// The finished video.
+        video: VideoId,
+        /// Predicted action segments `(start, end)` in frames.
+        segments: Vec<(usize, usize)>,
+        /// Pool-local id of the device that processed it; `None` when the
+        /// result was replayed from the cache.
+        device: Option<usize>,
+    },
+    /// The query finished; final assembled outcome.
+    Done(QueryOutcome),
+}
+
+/// Final outcome of a served query.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Server-assigned id.
+    pub id: QueryId,
+    /// The query as submitted.
+    pub query: ActionQuery,
+    /// Priority class the query was served at.
+    pub priority: Priority,
+    /// The engine that executed it.
+    pub executor: ExecutorKind,
+    /// Evaluated result (F1 / precision / recall / simulated throughput),
+    /// assembled in canonical video order so the outcome is independent of
+    /// scheduling.
+    pub result: QueryResult,
+    /// Per-frame predictions per video, sorted by video id (byte-exact
+    /// comparison target for the serial-equivalence property).
+    pub labels: Vec<(VideoId, Vec<bool>)>,
+    /// Whether the outcome was answered from the result cache.
+    pub from_cache: bool,
+    /// Wall-clock latency from submission to completion.
+    pub latency: Duration,
+}
+
+/// Receiving half of a query's typed response channel.
+#[derive(Debug)]
+pub struct ResponseStream {
+    id: QueryId,
+    rx: mpsc::Receiver<ResponseEvent>,
+}
+
+impl ResponseStream {
+    pub(crate) fn new(id: QueryId, rx: mpsc::Receiver<ResponseEvent>) -> Self {
+        ResponseStream { id, rx }
+    }
+
+    /// The query this stream answers.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Block for the next event; `None` once the stream is exhausted
+    /// (after [`ResponseEvent::Done`]).
+    pub fn recv(&self) -> Option<ResponseEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Drain the stream to completion and return the final outcome.
+    ///
+    /// Panics if the server dropped the channel without sending `Done`
+    /// (a server bug — every admitted query is answered).
+    pub fn wait(self) -> QueryOutcome {
+        loop {
+            match self.rx.recv() {
+                Ok(ResponseEvent::Done(outcome)) => return outcome,
+                Ok(ResponseEvent::Video { .. }) => continue,
+                Err(_) => panic!("server dropped response stream for {}", self.id),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_indices_are_ordered() {
+        assert_eq!(Priority::ALL.len(), 3);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        assert!(Priority::Interactive < Priority::Batch);
+    }
+
+    #[test]
+    fn stream_drains_to_done() {
+        let (tx, rx) = mpsc::channel();
+        let stream = ResponseStream::new(QueryId(7), rx);
+        tx.send(ResponseEvent::Video {
+            video: VideoId(1),
+            segments: vec![(0, 5)],
+            device: Some(0),
+        })
+        .unwrap();
+        tx.send(ResponseEvent::Done(QueryOutcome {
+            id: QueryId(7),
+            query: ActionQuery::new(zeus_video::ActionClass::LeftTurn, 0.8),
+            priority: Priority::Standard,
+            executor: ExecutorKind::ZeusSliding,
+            result: QueryResult {
+                method: "Zeus-Sliding".into(),
+                f1: 1.0,
+                precision: 1.0,
+                recall: 1.0,
+                throughput_fps: 10.0,
+                elapsed_secs: 1.0,
+                invocations: 1,
+                histogram: zeus_core::result::ConfigHistogram::new(),
+            },
+            labels: vec![],
+            from_cache: false,
+            latency: Duration::from_millis(3),
+        }))
+        .unwrap();
+        let outcome = stream.wait();
+        assert_eq!(outcome.id, QueryId(7));
+        assert!(!outcome.from_cache);
+    }
+}

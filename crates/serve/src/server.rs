@@ -1,0 +1,355 @@
+//! The serving engine: admission → schedule → execute → cache → respond.
+//!
+//! A [`ZeusServer`] owns a corpus, a [`PlanStore`], a worker pool of
+//! simulated devices, an LRU [`ResultCache`], and a bounded admission
+//! queue. [`ZeusServer::submit`] is the whole client API: it either
+//! answers from cache immediately, admits the query for concurrent
+//! execution, or rejects it (queue full / no stored plan / shutting
+//! down) — and hands back a typed [`ResponseStream`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use zeus_core::baselines::QueryEngine;
+use zeus_core::catalog::PlanCatalog;
+use zeus_core::parallel::DevicePool;
+use zeus_core::query::ActionQuery;
+use zeus_core::ExecutorKind;
+use zeus_sim::{CostModel, DeviceProfile};
+use zeus_video::annotation::runs_from_labels;
+use zeus_video::video::Split;
+use zeus_video::SyntheticDataset;
+
+use crate::admission::{AdmissionQueue, AdmitError};
+use crate::cache::{CacheKey, CorpusId, ResultCache};
+use crate::metrics::{MetricsSnapshot, ServeMetrics};
+use crate::plans::PlanStore;
+use crate::pool::{worker_loop, ActiveQuery, PoolShared, Subscriber};
+use crate::request::{Priority, QueryId, QueryOutcome, ResponseEvent, ResponseStream};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads, one simulated device each.
+    pub workers: usize,
+    /// Admission-queue bound shared across priority classes.
+    pub queue_capacity: usize,
+    /// Result-cache entries.
+    pub cache_capacity: usize,
+    /// Hardware profile of every pool device.
+    pub device: DeviceProfile,
+    /// Default engine for submitted queries. Only the plan-reconstructable
+    /// engines ([`ExecutorKind::ZeusRl`], [`ExecutorKind::ZeusSliding`])
+    /// are servable.
+    pub executor: ExecutorKind,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            device: DeviceProfile::default(),
+            executor: ExecutorKind::ZeusRl,
+        }
+    }
+}
+
+/// A running serving engine. Dropping it shuts the pool down (pending
+/// queries still drain).
+pub struct ZeusServer {
+    shared: Arc<PoolShared>,
+    plans: Arc<PlanStore>,
+    config: ServeConfig,
+    corpus: CorpusId,
+    cost: CostModel,
+    next_id: AtomicU64,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ZeusServer {
+    /// Start a server over a corpus: spin up `config.workers` threads,
+    /// each owning one device from a [`DevicePool`].
+    ///
+    /// `corpus_id` must identify how `dataset` was generated (it keys the
+    /// result cache). Panics if the test split is empty or the configured
+    /// executor is not servable.
+    pub fn start(
+        dataset: &SyntheticDataset,
+        corpus_id: CorpusId,
+        plans: PlanStore,
+        config: ServeConfig,
+    ) -> ZeusServer {
+        assert!(config.workers > 0, "need at least one worker");
+        assert!(
+            servable(config.executor),
+            "executor {} cannot be rebuilt from a stored plan",
+            config.executor
+        );
+        let mut videos: Vec<_> = dataset
+            .store
+            .split(Split::Test)
+            .into_iter()
+            .cloned()
+            .collect();
+        videos.sort_by_key(|v| v.id);
+        assert!(!videos.is_empty(), "corpus test split is empty");
+
+        let pool = DevicePool::homogeneous(config.workers, config.device.clone());
+        let shared = Arc::new(PoolShared {
+            queue: AdmissionQueue::new(config.queue_capacity),
+            board: Mutex::new(Vec::new()),
+            inflight: Mutex::new(std::collections::HashMap::new()),
+            devices: pool.into_devices().into_iter().map(Mutex::new).collect(),
+            cache: ResultCache::new(config.cache_capacity),
+            metrics: ServeMetrics::new(),
+            videos,
+        });
+        let handles = (0..config.workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("zeus-serve-{w}"))
+                    .spawn(move || worker_loop(&shared, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let cost = CostModel::new(config.device.clone());
+        ZeusServer {
+            shared,
+            plans: Arc::new(plans),
+            config,
+            corpus: corpus_id,
+            cost,
+            next_id: AtomicU64::new(0),
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The plan store (for warming plans ahead of traffic).
+    pub fn plans(&self) -> &PlanStore {
+        &self.plans
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Submit with the server's default executor.
+    pub fn submit(
+        &self,
+        query: ActionQuery,
+        priority: Priority,
+    ) -> Result<ResponseStream, AdmitError> {
+        self.submit_with(query, priority, self.config.executor)
+    }
+
+    /// Submit a query for execution by `executor`.
+    ///
+    /// Fast paths first: a result-cache hit answers synchronously (the
+    /// stream already holds every event); a missing plan or a full queue
+    /// rejects. Otherwise the query is admitted and executes on the pool.
+    pub fn submit_with(
+        &self,
+        query: ActionQuery,
+        priority: Priority,
+        executor: ExecutorKind,
+    ) -> Result<ResponseStream, AdmitError> {
+        let submitted = Instant::now();
+        self.shared.metrics.on_submit();
+        if !servable(executor) {
+            self.shared.metrics.on_no_plan();
+            return Err(AdmitError::NoPlan {
+                key: format!("{executor} is not plan-reconstructable"),
+            });
+        }
+        let id = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let cache_key = CacheKey::new(&query, self.corpus, executor);
+
+        let (tx, rx) = mpsc::channel();
+        let mut subscriber = Subscriber {
+            id,
+            priority,
+            submitted,
+            tx,
+            coalesced: true,
+        };
+
+        // 1. Result cache.
+        if let Some(cached) = self.shared.cache.get(&cache_key) {
+            self.replay_cached(&query, executor, &subscriber, &cached);
+            return Ok(ResponseStream::new(id, rx));
+        }
+
+        // 2. Coalesce onto an identical in-flight query: the follower
+        //    subscribes to the running execution instead of re-running it.
+        {
+            let inflight = self.shared.inflight.lock().unwrap();
+            if let Some(task) = inflight.get(&cache_key) {
+                match task.subscribe(subscriber) {
+                    Ok(()) => {
+                        self.shared.metrics.on_admit();
+                        return Ok(ResponseStream::new(id, rx));
+                    }
+                    // The query finalized between our cache miss and now;
+                    // finalize publishes to the cache before closing, so
+                    // this lookup cannot miss.
+                    Err(returned) => subscriber = returned,
+                }
+            }
+        }
+        if let Some(cached) = self.shared.cache.get(&cache_key) {
+            self.replay_cached(&query, executor, &subscriber, &cached);
+            return Ok(ResponseStream::new(id, rx));
+        }
+
+        // 3. Plan resolution (never trains inline).
+        let stored = self.plans.get(&query).ok_or_else(|| {
+            self.shared.metrics.on_no_plan();
+            AdmitError::NoPlan {
+                key: PlanCatalog::key(&query),
+            }
+        })?;
+        let engine: Box<dyn QueryEngine + Send + Sync> = match executor {
+            ExecutorKind::ZeusRl => Box::new(stored.zeus_rl_engine(self.cost.clone())),
+            ExecutorKind::ZeusSliding => Box::new(stored.sliding_engine(self.cost.clone())),
+            _ => unreachable!("servable() vetted the executor"),
+        };
+
+        // 4. Admission, atomic with a coalescing re-check: an identical
+        //    submission may have been admitted since the step-2 check, so
+        //    the subscribe-or-create decision and the queue push both
+        //    happen under the in-flight map lock (a shed submission is
+        //    therefore never visible for coalescing either).
+        enum Admitted {
+            Queued,
+            Coalesced,
+            Finalized(Subscriber),
+            Rejected(AdmitError),
+        }
+        let admitted = {
+            let mut inflight = self.shared.inflight.lock().unwrap();
+            if let Some(existing) = inflight.get(&cache_key) {
+                subscriber.coalesced = true;
+                match existing.subscribe(subscriber) {
+                    Ok(()) => Admitted::Coalesced,
+                    Err(returned) => Admitted::Finalized(returned),
+                }
+            } else {
+                subscriber.coalesced = false;
+                let task = Arc::new(ActiveQuery::new(
+                    query.clone(),
+                    executor,
+                    stored.protocol,
+                    engine,
+                    cache_key.clone(),
+                    subscriber,
+                    self.shared.videos.len(),
+                ));
+                match self.shared.queue.try_push(Arc::clone(&task), priority) {
+                    Ok(_depth) => {
+                        inflight.insert(cache_key.clone(), task);
+                        Admitted::Queued
+                    }
+                    Err(e) => Admitted::Rejected(e),
+                }
+            }
+        };
+        match admitted {
+            Admitted::Queued | Admitted::Coalesced => {
+                self.shared.metrics.on_admit();
+                Ok(ResponseStream::new(id, rx))
+            }
+            Admitted::Finalized(returned) => {
+                // The in-flight query finalized under our feet; finalize
+                // publishes to the result cache before closing, so this
+                // lookup is guaranteed to hit.
+                let cached = self
+                    .shared
+                    .cache
+                    .get(&cache_key)
+                    .expect("finalized query must be cached before closing");
+                self.replay_cached(&query, executor, &returned, &cached);
+                Ok(ResponseStream::new(id, rx))
+            }
+            Admitted::Rejected(e) => {
+                if matches!(e, AdmitError::QueueFull { .. }) {
+                    self.shared.metrics.on_shed();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Answer a submission from a cached execution: replay per-video
+    /// events and the final outcome onto the subscriber's channel.
+    fn replay_cached(
+        &self,
+        query: &ActionQuery,
+        executor: ExecutorKind,
+        subscriber: &Subscriber,
+        cached: &crate::cache::CachedExecution,
+    ) {
+        for (video, labels) in &cached.labels {
+            let _ = subscriber.tx.send(ResponseEvent::Video {
+                video: *video,
+                segments: runs_from_labels(labels),
+                device: None,
+            });
+        }
+        let latency = subscriber.submitted.elapsed();
+        self.shared.metrics.on_cache_hit(latency);
+        let _ = subscriber.tx.send(ResponseEvent::Done(QueryOutcome {
+            id: subscriber.id,
+            query: query.clone(),
+            priority: subscriber.priority,
+            executor,
+            result: cached.result.clone(),
+            labels: cached.labels.clone(),
+            from_cache: true,
+            latency,
+        }));
+    }
+
+    /// Current admission-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.depth()
+    }
+
+    /// Result-cache `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.shared.cache.stats()
+    }
+
+    /// Snapshot serving telemetry.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared
+            .metrics
+            .snapshot(self.shared.queue.depth(), self.shared.device_busy_secs())
+    }
+
+    /// Stop admitting, drain pending queries, and join the pool. Safe to
+    /// call more than once.
+    pub fn shutdown(&self) {
+        self.shared.queue.close();
+        let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ZeusServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Can `executor` be rebuilt from a [`zeus_core::catalog::StoredPlan`]?
+pub fn servable(executor: ExecutorKind) -> bool {
+    matches!(executor, ExecutorKind::ZeusRl | ExecutorKind::ZeusSliding)
+}

@@ -1,0 +1,333 @@
+//! Offline stand-in for `proptest`: a deterministic mini
+//! property-testing harness covering the strategy combinators this
+//! workspace uses — numeric ranges, tuples, `prop::collection::vec`,
+//! `prop::sample::select`, `any::<T>()`, and `prop_map` — plus the
+//! `proptest!` / `prop_assert!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the generated inputs' debug output via the assertion message), and a
+//! fixed deterministic seed per test (override the case count with the
+//! `PROPTEST_CASES` environment variable).
+
+#![warn(missing_docs)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand_chacha::ChaCha8Rng;
+
+    /// A value generator: the shim's version of `proptest::Strategy`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+            rand::Rng::gen_range(rng, self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection`).
+
+    use super::strategy::Strategy;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Inclusive-exclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let n = rand::Rng::gen_range(rng, self.size.lo..self.size.hi);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec`: vectors of `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (`prop::sample`).
+
+    use super::strategy::Strategy;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Strategy drawing uniformly from a fixed set of values.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> T {
+            let i = rand::Rng::gen_range(rng, 0..self.options.len());
+            self.options[i].clone()
+        }
+    }
+
+    /// `prop::sample::select`: choose uniformly from `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select needs at least one option");
+        Select { options }
+    }
+}
+
+/// `prop::` namespace as the prelude exposes it.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: strategy::Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for [`Arbitrary`] scalars sampled from raw RNG bits.
+pub struct AnyScalar<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_scalar {
+    ($($t:ty),*) => {$(
+        impl strategy::Strategy for AnyScalar<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                <$t as rand::StandardSample>::standard_sample(rng)
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyScalar<$t>;
+            fn arbitrary() -> AnyScalar<$t> {
+                AnyScalar(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_scalar!(bool, u32, u64, usize, f32, f64);
+
+/// `any::<T>()`: the canonical strategy for `T`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Number of cases each property runs (default 32; override with the
+/// `PROPTEST_CASES` environment variable).
+pub fn cases() -> usize {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32)
+}
+
+/// Deterministic per-test RNG, decorrelated across tests by name.
+pub fn test_rng(test_name: &str) -> ChaCha8Rng {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    ChaCha8Rng::seed_from_u64(h)
+}
+
+/// The commonly-imported surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+    };
+}
+
+/// Skip the current generated case when an assumption fails. The shim
+/// expands to `continue` targeting the per-case loop, so it must appear at
+/// the top level of the property body (not inside a user loop) — which is
+/// how this workspace uses it.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Assert inside a property (panics with the formatted message; the shim
+/// performs no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases()` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::test_rng(stringify!($name));
+                for __case in 0..$crate::cases() {
+                    let _ = __case;
+                    let ($($arg,)*) = (
+                        $($crate::strategy::Strategy::generate(&$strat, &mut __rng),)*
+                    );
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 0usize..10, (lo, hi) in (0u32..5, 5u32..10)) {
+            prop_assert!(a < 10);
+            prop_assert!(lo < hi, "{lo} vs {hi}");
+        }
+
+        #[test]
+        fn vecs_respect_sizes(v in prop::collection::vec(any::<bool>(), 1..7)) {
+            prop_assert!((1..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn select_draws_members(x in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!([2, 4, 8].contains(&x));
+        }
+
+        #[test]
+        fn map_transforms(n in (1usize..5).prop_map(|x| x * 2)) {
+            prop_assert!(n % 2 == 0 && n < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let s = 0usize..1000;
+        let mut a = crate::test_rng("x");
+        let mut b = crate::test_rng("x");
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Exposes marker traits and re-exports the no-op derives from the
+//! sibling `serde_derive` shim. Nothing in this workspace serializes
+//! through serde (the plan catalog has its own binary codec), so the
+//! traits carry no methods.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; never used as a
+/// bound in this workspace).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; never used as
+/// a bound in this workspace).
+pub trait Deserialize<'de> {}

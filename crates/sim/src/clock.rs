@@ -155,7 +155,10 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(0.5), SimDuration::from_millis(500.0));
-        assert_eq!(SimDuration::from_millis(1.0), SimDuration::from_micros(1000.0));
+        assert_eq!(
+            SimDuration::from_millis(1.0),
+            SimDuration::from_micros(1000.0)
+        );
     }
 
     #[test]

@@ -146,7 +146,12 @@ impl CostModel {
     /// Sliding-window throughput (fps) of a configuration: frames covered
     /// per invocation divided by invocation latency. This is exactly the
     /// quantity Table 2 tabulates.
-    pub fn sliding_throughput(&self, seg_len: usize, sampling_rate: usize, resolution: usize) -> f64 {
+    pub fn sliding_throughput(
+        &self,
+        seg_len: usize,
+        sampling_rate: usize,
+        resolution: usize,
+    ) -> f64 {
         let covered = (seg_len * sampling_rate) as f64;
         covered / self.r3d_invocation(seg_len, resolution).as_secs()
     }

@@ -22,7 +22,6 @@
 //! reports (speedups, crossovers) is preserved even if one disagrees with
 //! the absolute constants.
 
-
 #![warn(missing_docs)]
 pub mod clock;
 pub mod cost;
@@ -30,4 +29,4 @@ pub mod device;
 
 pub use clock::{SimClock, SimDuration};
 pub use cost::CostModel;
-pub use device::DeviceProfile;
+pub use device::{DeviceProfile, SimDevice};

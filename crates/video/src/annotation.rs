@@ -226,7 +226,10 @@ mod tests {
         for c in ActionClass::ALL {
             assert_eq!(ActionClass::from_query_name(c.query_name()), Some(c));
         }
-        assert_eq!(ActionClass::from_query_name("LEFT-TURN"), Some(ActionClass::LeftTurn));
+        assert_eq!(
+            ActionClass::from_query_name("LEFT-TURN"),
+            Some(ActionClass::LeftTurn)
+        );
         assert_eq!(ActionClass::from_query_name("jumping"), None);
     }
 
@@ -271,7 +274,9 @@ mod tests {
         ];
         // Only CrossRight + CrossLeft requested.
         let labels = binary_labels(&ivs, &[ActionClass::CrossRight, ActionClass::CrossLeft], 10);
-        let want = [false, false, true, true, false, false, true, true, false, false];
+        let want = [
+            false, false, true, true, false, false, true, true, false, false,
+        ];
         assert_eq!(labels, want);
     }
 
@@ -279,9 +284,9 @@ mod tests {
     fn binary_labels_clamps_to_video_end() {
         let ivs = vec![ActionInterval::new(8, 20, ActionClass::CrossRight)];
         let labels = binary_labels(&ivs, &[ActionClass::CrossRight], 10);
-        assert_eq!(labels[7], false);
-        assert_eq!(labels[8], true);
-        assert_eq!(labels[9], true);
+        assert!(!labels[7]);
+        assert!(labels[8]);
+        assert!(labels[9]);
         assert_eq!(labels.len(), 10);
     }
 

@@ -77,9 +77,7 @@ impl DatasetKind {
             // instances); CrossLeft fills the second slot for stats.
             DatasetKind::Kitti => [ActionClass::LeftTurn, ActionClass::CrossLeft],
             DatasetKind::Thumos14 => [ActionClass::PoleVault, ActionClass::CleanAndJerk],
-            DatasetKind::ActivityNet => {
-                [ActionClass::IroningClothes, ActionClass::TennisServe]
-            }
+            DatasetKind::ActivityNet => [ActionClass::IroningClothes, ActionClass::TennisServe],
         }
     }
 
@@ -278,11 +276,7 @@ impl DatasetProfile {
     }
 }
 
-fn pick_class(
-    mix: &[(ActionClass, f64)],
-    weights: &[f64],
-    rng: &mut impl Rng,
-) -> ActionClass {
+fn pick_class(mix: &[(ActionClass, f64)], weights: &[f64], rng: &mut impl Rng) -> ActionClass {
     let u: f64 = rng.gen();
     let mut acc = 0.0;
     for ((class, _), w) in mix.iter().zip(weights.iter()) {
@@ -417,7 +411,10 @@ mod tests {
             "mean len {}",
             stats.mean_len
         );
-        assert!(stats.std_len > stats.mean_len * 0.6, "should be heavy-tailed");
+        assert!(
+            stats.std_len > stats.mean_len * 0.6,
+            "should be heavy-tailed"
+        );
     }
 
     #[test]
@@ -441,7 +438,10 @@ mod tests {
             .iter()
             .flat_map(|v| &v.intervals)
             .any(|iv| iv.class == ActionClass::CrossLeft);
-        assert!(any_cross_left, "BDD must carry CrossLeft annotations (§6.5)");
+        assert!(
+            any_cross_left,
+            "BDD must carry CrossLeft annotations (§6.5)"
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl Frame {
 
     /// A black frame.
     pub fn black(resolution: usize) -> Self {
-        Frame::new(resolution, vec![0; resolution * resolution * Self::CHANNELS])
+        Frame::new(
+            resolution,
+            vec![0; resolution * resolution * Self::CHANNELS],
+        )
     }
 
     /// Side length in pixels (frames are square, matching the paper's
@@ -50,7 +53,10 @@ impl Frame {
 
     /// Read pixel `(x, y)` as an `[r, g, b]` triple.
     pub fn pixel(&self, x: usize, y: usize) -> [u8; 3] {
-        assert!(x < self.resolution && y < self.resolution, "pixel out of bounds");
+        assert!(
+            x < self.resolution && y < self.resolution,
+            "pixel out of bounds"
+        );
         let i = (y * self.resolution + x) * Self::CHANNELS;
         [self.pixels[i], self.pixels[i + 1], self.pixels[i + 2]]
     }

@@ -25,7 +25,6 @@
 //! Determinism: a corpus is fully determined by `(DatasetKind, scale,
 //! seed)`; every frame of every video can be regenerated independently.
 
-
 #![warn(missing_docs)]
 pub mod annotation;
 pub mod datasets;

@@ -248,7 +248,8 @@ mod tests {
     fn action_frames_handles_overlapping_intervals() {
         let mut v = test_video();
         // Overlap CrossLeft on top of CrossRight frames 15..25.
-        v.intervals.push(ActionInterval::new(15, 25, ActionClass::CrossLeft));
+        v.intervals
+            .push(ActionInterval::new(15, 25, ActionClass::CrossLeft));
         let n = v.action_frames_in(&[ActionClass::CrossRight, ActionClass::CrossLeft], 0, 100);
         assert_eq!(n, 15, "union of [10,20) and [15,25) is 15 frames");
     }

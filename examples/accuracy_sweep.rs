@@ -16,7 +16,10 @@ use zeus::video::{ActionClass, DatasetKind};
 
 fn main() {
     let dataset = DatasetKind::Bdd100k.generate(0.2, 5);
-    println!("{:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>8}", "target", "slide F1", "fps", "RL F1", "fps", "speedup");
+    println!(
+        "{:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>8}",
+        "target", "slide F1", "fps", "RL F1", "fps", "speedup"
+    );
     println!("{}", "-".repeat(64));
 
     for target in [0.75f64, 0.80, 0.85] {

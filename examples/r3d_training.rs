@@ -26,7 +26,11 @@ fn main() {
 
     // 16x16 pixels, 3 frames sampled every 4 — small but real 3D input.
     let config = Configuration::new(16, 4, 2);
-    let classes = [ActionClass::CrossRight, ActionClass::CrossLeft, ActionClass::LeftTurn];
+    let classes = [
+        ActionClass::CrossRight,
+        ActionClass::CrossLeft,
+        ActionClass::LeftTurn,
+    ];
     let balance = |mut set: Vec<(Vec<f32>, [usize; 4], bool)>| {
         // Keep a 1:1 positive/negative ratio so the net cannot win by
         // predicting the majority class.

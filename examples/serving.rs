@@ -1,0 +1,105 @@
+//! Walkthrough of the `zeus-serve` serving layer: plan once, serve many.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+//!
+//! The flow below mirrors a production deployment: an offline planning
+//! step trains and installs query plans, a server is started over a
+//! corpus and a pool of simulated devices, clients submit SQL-ish action
+//! queries at different priorities, and results stream back per video.
+
+use zeus::core::query::parse_query;
+use zeus::prelude::*;
+use zeus::serve::ResponseEvent;
+
+fn main() {
+    // A small BDD100K corpus; scale 0.2 keeps the example under a
+    // minute including planning.
+    let (scale, seed) = (0.2, 33u64);
+    let dataset = DatasetKind::Bdd100k.generate(scale, seed);
+
+    // --- Offline: plan the queries we intend to serve. -----------------
+    let sql = "SELECT segment_ids FROM UDF(video) \
+               WHERE action_class = 'cross-right' AND accuracy >= 85%";
+    let query = parse_query(sql).expect("valid query");
+
+    let mut options = PlannerOptions {
+        seed,
+        ..PlannerOptions::default()
+    };
+    options.trainer.episodes = 2; // example-sized training
+    options.trainer.warmup = 64;
+    options.candidates.truncate(1);
+
+    println!("planning `{sql}` (one-time cost, amortized by the catalog)...");
+    let planner = QueryPlanner::new(&dataset, options);
+    let plan = planner.plan(&query);
+
+    let plans = PlanStore::in_memory();
+    plans.install(&plan, seed).expect("install plan");
+
+    // --- Online: start the server and submit concurrent queries. -------
+    let server = ZeusServer::start(
+        &dataset,
+        CorpusId::new(DatasetKind::Bdd100k, scale, seed),
+        plans,
+        ServeConfig {
+            workers: 4,
+            // The example trains a deliberately tiny RL policy, so serve
+            // the statically-planned engine; swap in `ZeusRl` after a
+            // full `zeus plan` run.
+            executor: ExecutorKind::ZeusSliding,
+            ..ServeConfig::default()
+        },
+    );
+
+    // An interactive client streams per-video results as devices finish.
+    println!("\ninteractive query, streamed results:");
+    let stream = server
+        .submit(query.clone(), Priority::Interactive)
+        .expect("admitted");
+    while let Some(event) = stream.recv() {
+        match event {
+            ResponseEvent::Video {
+                video,
+                segments,
+                device,
+            } => {
+                println!(
+                    "  {video:?} -> {} segment(s) on device {device:?}",
+                    segments.len()
+                );
+            }
+            ResponseEvent::Done(outcome) => {
+                println!(
+                    "  done: F1 {:.3} at {:.0} simulated fps, latency {:.2} ms",
+                    outcome.result.f1,
+                    outcome.result.throughput_fps,
+                    outcome.latency.as_secs_f64() * 1e3
+                );
+                break;
+            }
+        }
+    }
+
+    // A burst of repeat queries: the first execution populated the LRU
+    // result cache, so these are answered without touching a device.
+    println!("\nburst of 32 repeat queries:");
+    let outcomes: Vec<_> = (0..32)
+        .map(|i| {
+            let priority = Priority::ALL[i % 3];
+            server
+                .submit(query.clone(), priority)
+                .expect("admitted")
+                .wait()
+        })
+        .collect();
+    let cached = outcomes.iter().filter(|o| o.from_cache).count();
+    println!("  {cached}/32 served from cache");
+
+    let metrics = server.metrics();
+    println!("\nserving telemetry:\n{metrics}");
+
+    server.shutdown();
+}

@@ -26,7 +26,11 @@ fn main() {
 
     for class in [ActionClass::CrossRight, ActionClass::LeftTurn] {
         let query = ActionQuery::new(class, 0.85);
-        println!("=== {} (target {:.0}%) ===", class, query.target_accuracy * 100.0);
+        println!(
+            "=== {} (target {:.0}%) ===",
+            class,
+            query.target_accuracy * 100.0
+        );
 
         let planner = QueryPlanner::new(&dataset, PlannerOptions::default());
         let plan = planner.plan(&query);
@@ -40,7 +44,10 @@ fn main() {
             ("Zeus-Heuristic", engines.heuristic.execute(&test)),
             ("Zeus-RL", engines.zeus_rl.execute(&test)),
         ];
-        println!("{:<15} {:>6} {:>6} {:>6} {:>9}", "method", "F1", "P", "R", "fps");
+        println!(
+            "{:<15} {:>6} {:>6} {:>6} {:>9}",
+            "method", "F1", "P", "R", "fps"
+        );
         for (name, exec) in runs {
             let r = exec.evaluate(&test, &query.classes, plan.protocol);
             println!(

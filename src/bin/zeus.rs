@@ -7,11 +7,19 @@
 //!            --catalog ./plans [--scale 0.3] [--seed 42]
 //! zeus query --dataset bdd100k --sql "..." [--catalog ./plans] \
 //!            [--method zeus-rl|zeus-sliding|all] [--scale 0.3]
+//! zeus serve-bench --dataset bdd100k [--workers 4] [--queries 120] \
+//!            [--mode open|closed] [--rate 40] [--concurrency 8] \
+//!            [--queue 64] [--method zeus-rl] [--catalog ./plans]
 //! ```
 //!
 //! `plan` trains and stores a plan in the catalog; `query` executes (loading
 //! the stored plan when present, planning on the fly otherwise) and prints
-//! the localized segments plus accuracy/throughput.
+//! the localized segments plus accuracy/throughput. `serve-bench` stands up
+//! the `zeus-serve` engine — a bounded admission queue in front of a
+//! work-stealing pool of simulated devices with an LRU result cache — and
+//! drives an open-loop (Poisson) or closed-loop workload through it,
+//! reporting tail latency, throughput, shed rate, and cache hit rate, then
+//! verifying concurrent results against serial execution.
 
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -20,13 +28,17 @@ use zeus::core::baselines::QueryEngine;
 use zeus::core::catalog::PlanCatalog;
 use zeus::core::planner::{PlannerOptions, QueryPlanner};
 use zeus::core::query::{parse_query, ActionQuery};
+use zeus::core::ExecutorKind;
+use zeus::serve::{
+    run_closed_loop, run_open_loop, CorpusId, PlanStore, ServeConfig, WorkloadSpec, ZeusServer,
+};
 use zeus::sim::CostModel;
 use zeus::video::stats::DatasetStats;
 use zeus::video::video::Split;
 use zeus::video::DatasetKind;
 
 fn usage() -> &'static str {
-    "usage:\n  zeus datasets\n  zeus plan  --dataset <name> --sql <query> --catalog <dir> [--scale S] [--seed N]\n  zeus query --dataset <name> --sql <query> [--catalog <dir>] [--method M] [--scale S] [--seed N]\n\ndatasets: bdd100k thumos14 activitynet cityscapes kitti\nmethods:  zeus-rl (default) | zeus-sliding | all"
+    "usage:\n  zeus datasets\n  zeus plan  --dataset <name> --sql <query> --catalog <dir> [--scale S] [--seed N]\n  zeus query --dataset <name> --sql <query> [--catalog <dir>] [--method M] [--scale S] [--seed N]\n  zeus serve-bench --dataset <name> [--workers N] [--queries N] [--mode open|closed]\n                   [--rate QPS] [--concurrency N] [--queue N] [--cache N]\n                   [--method M] [--scale S] [--seed N] [--catalog <dir>]\n\ndatasets: bdd100k thumos14 activitynet cityscapes kitti\nmethods:  zeus-rl (default) | zeus-sliding | all (query only)"
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -69,6 +81,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "datasets" => cmd_datasets(),
         "plan" => cmd_plan(&parse_flags(&args[1..])?),
         "query" => cmd_query(&parse_flags(&args[1..])?),
+        "serve-bench" => cmd_serve_bench(&parse_flags(&args[1..])?),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -126,8 +139,10 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
 
     eprintln!("generating {} corpus at scale {scale}...", kind.name());
     let dataset = kind.generate(scale, seed);
-    let mut options = PlannerOptions::default();
-    options.seed = seed;
+    let options = PlannerOptions {
+        seed,
+        ..PlannerOptions::default()
+    };
     eprintln!("planning (profiling {} configurations + RL training)...", {
         zeus::core::ConfigSpace::for_dataset(kind).len()
     });
@@ -142,6 +157,161 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
         plan.space.len(),
         plan.costs.apfg_training_secs,
         plan.costs.rl_training_secs,
+    );
+    Ok(())
+}
+
+/// Parse an optional numeric flag with a default.
+fn flag_or<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(s) => s.parse().map_err(|_| format!("bad --{key} '{s}'")),
+        None => Ok(default),
+    }
+}
+
+fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    let kind = dataset_kind(flags.get("dataset").ok_or("--dataset is required")?)?;
+    let scale: f64 = flag_or(flags, "scale", 0.05)?;
+    let seed: u64 = flag_or(flags, "seed", 2022)?;
+    let workers: usize = flag_or(flags, "workers", 4)?;
+    let queries: usize = flag_or(flags, "queries", 120)?;
+    let queue: usize = flag_or(flags, "queue", 64)?;
+    let cache: usize = flag_or(flags, "cache", 128)?;
+    let rate: f64 = flag_or(flags, "rate", 40.0)?;
+    let concurrency: usize = flag_or(flags, "concurrency", 8)?;
+    let mode = flags.get("mode").map(String::as_str).unwrap_or("open");
+    let method = flags.get("method").map(String::as_str).unwrap_or("zeus-rl");
+    // Validate everything before the expensive corpus + planning work.
+    if !matches!(mode, "open" | "closed") {
+        return Err(format!("unknown --mode '{mode}' (open | closed)"));
+    }
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    if queue == 0 || cache == 0 {
+        return Err("--queue and --cache must be at least 1".into());
+    }
+    let executor = match method {
+        "zeus-rl" => ExecutorKind::ZeusRl,
+        "zeus-sliding" => ExecutorKind::ZeusSliding,
+        other => {
+            return Err(format!(
+                "serve-bench supports zeus-rl | zeus-sliding, got '{other}'"
+            ))
+        }
+    };
+
+    eprintln!("generating {} corpus at scale {scale}...", kind.name());
+    let dataset = kind.generate(scale, seed);
+    let corpus = CorpusId::new(kind, scale, seed);
+
+    // Templates: both of the dataset's query classes at two targets each.
+    let [a, b] = kind.query_classes();
+    let target = if matches!(kind, DatasetKind::Bdd100k | DatasetKind::Cityscapes) {
+        0.85
+    } else {
+        0.75
+    };
+    let templates = vec![
+        ActionQuery::new(a, target),
+        ActionQuery::new(b, target),
+        ActionQuery::new(a, target - 0.05),
+        ActionQuery::new(b, target - 0.05),
+    ];
+
+    // Plan each template (reusing the catalog when one is given) with
+    // fast trainer options; serving itself never trains.
+    let plans = match flags.get("catalog") {
+        Some(dir) => PlanStore::with_catalog(dir).map_err(|e| e.to_string())?,
+        None => PlanStore::in_memory(),
+    };
+    let mut options = PlannerOptions {
+        seed,
+        ..PlannerOptions::default()
+    };
+    options.trainer.episodes = 2;
+    options.trainer.warmup = 64;
+    options.candidates.truncate(1);
+    for query in &templates {
+        if plans.get(query).is_some() {
+            eprintln!("plan reuse: {}", PlanCatalog::key(query));
+            continue;
+        }
+        eprintln!("planning {} ...", PlanCatalog::key(query));
+        let planner = QueryPlanner::new(&dataset, options.clone());
+        let plan = planner.plan(query);
+        plans.install(&plan, seed).map_err(|e| e.to_string())?;
+    }
+
+    let server = ZeusServer::start(
+        &dataset,
+        corpus,
+        plans,
+        ServeConfig {
+            workers,
+            queue_capacity: queue,
+            cache_capacity: cache,
+            executor,
+            ..ServeConfig::default()
+        },
+    );
+    let spec = WorkloadSpec::new(templates.clone(), queries, seed ^ 0x5EED);
+
+    eprintln!("serving {queries} queries ({mode} loop) across {workers} simulated devices...");
+    let report = match mode {
+        "open" => run_open_loop(&server, &spec, rate),
+        _ => run_closed_loop(&server, &spec, concurrency),
+    };
+    server.shutdown();
+
+    println!("\n== serve-bench: {} on {} ==", executor, kind.name());
+    match mode {
+        "open" => println!(
+            "open loop: Poisson arrivals at {rate:.0} qps, {} submitted, {} shed",
+            queries, report.shed
+        ),
+        _ => println!(
+            "closed loop: {concurrency} clients, {} completed ({} transient sheds retried)",
+            report.outcomes.len(),
+            report.shed
+        ),
+    }
+    println!("{}", report.metrics);
+
+    // Verify: every distinct template's served result must match serial
+    // execution exactly (same engine on one fresh device).
+    let test = dataset.store.split(Split::Test);
+    let cost = CostModel::default();
+    let mut verified = 0usize;
+    for query in &templates {
+        let Some(outcome) = report.outcomes.iter().find(|o| &o.query == query) else {
+            continue;
+        };
+        let stored = server
+            .plans()
+            .get(query)
+            .ok_or("plan vanished from store")?;
+        let exec = match executor {
+            ExecutorKind::ZeusRl => stored.zeus_rl_engine(cost.clone()).execute(&test),
+            _ => stored.sliding_engine(cost.clone()).execute(&test),
+        };
+        let mut serial = exec.labels.clone();
+        serial.sort_by_key(|(id, _)| *id);
+        if serial != outcome.labels {
+            return Err(format!(
+                "serial mismatch for {}: concurrent serving diverged",
+                PlanCatalog::key(query)
+            ));
+        }
+        verified += 1;
+    }
+    println!(
+        "serial-equivalence: OK ({verified}/{} templates byte-identical)",
+        templates.len()
     );
     Ok(())
 }
@@ -174,8 +344,10 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         None => {
             eprintln!("no stored plan; planning on the fly...");
-            let mut options = PlannerOptions::default();
-            options.seed = seed;
+            let options = PlannerOptions {
+                seed,
+                ..PlannerOptions::default()
+            };
             let planner = QueryPlanner::new(&dataset, options);
             let plan = planner.plan(&query);
             protocol = plan.protocol;

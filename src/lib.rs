@@ -11,25 +11,29 @@
 //! * [`apfg`] — the Adaptive Proxy Feature Generator and proxy models.
 //! * [`rl`] — the DQN agent, replay buffer, and reward functions.
 //! * [`core`] — the Zeus query planner, executor, baselines, and metrics.
+//! * [`serve`] — the concurrent query-serving subsystem (admission
+//!   control, device-pool scheduling, result caching).
 //!
-//! See `examples/quickstart.rs` for a five-minute tour.
-
+//! See `examples/quickstart.rs` for a five-minute tour and
+//! `examples/serving.rs` for the serving layer.
 
 #![warn(missing_docs)]
 pub use zeus_apfg as apfg;
 pub use zeus_core as core;
 pub use zeus_nn as nn;
 pub use zeus_rl as rl;
+pub use zeus_serve as serve;
 pub use zeus_sim as sim;
 pub use zeus_video as video;
 
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
-    pub use zeus_core::baselines::{ExecutorKind, QueryEngine};
     pub use zeus_apfg::Configuration;
+    pub use zeus_core::baselines::{ExecutorKind, QueryEngine};
     pub use zeus_core::config::ConfigSpace;
     pub use zeus_core::metrics::EvalReport;
     pub use zeus_core::planner::{PlannerOptions, QueryPlanner};
     pub use zeus_core::query::ActionQuery;
+    pub use zeus_serve::{CorpusId, PlanStore, Priority, ServeConfig, WorkloadSpec, ZeusServer};
     pub use zeus_video::datasets::{DatasetKind, SyntheticDataset};
 }

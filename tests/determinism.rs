@@ -67,12 +67,19 @@ fn engines_are_pure_given_the_same_video() {
 
     let mut clock_a = zeus::sim::SimClock::new();
     let mut hist_a = zeus::core::ConfigHistogram::new();
-    let a = engines.zeus_rl.execute_video(video, &mut clock_a, &mut hist_a);
+    let a = engines
+        .zeus_rl
+        .execute_video(video, &mut clock_a, &mut hist_a);
 
     let mut clock_b = zeus::sim::SimClock::new();
     let mut hist_b = zeus::core::ConfigHistogram::new();
-    let b = engines.zeus_rl.execute_video(video, &mut clock_b, &mut hist_b);
+    let b = engines
+        .zeus_rl
+        .execute_video(video, &mut clock_b, &mut hist_b);
 
     assert_eq!(a, b);
-    assert_eq!(clock_a.elapsed_secs().to_bits(), clock_b.elapsed_secs().to_bits());
+    assert_eq!(
+        clock_a.elapsed_secs().to_bits(),
+        clock_b.elapsed_secs().to_bits()
+    );
 }

@@ -135,17 +135,17 @@ fn segment_pp_fails_on_complex_classes_but_not_easy_ones() {
         easy > hard,
         "Segment-PP should do better on LeftTurn ({easy}) than PoleVault ({hard})"
     );
-    assert!(hard < 0.65, "hard-class Segment-PP should be capped: {hard}");
+    assert!(
+        hard < 0.65,
+        "hard-class Segment-PP should be capped: {hard}"
+    );
 }
 
 #[test]
 fn multi_class_union_query_runs_end_to_end() {
     // §6.5 multi-class training.
     let dataset = DatasetKind::Bdd100k.generate(0.2, 17);
-    let query = ActionQuery::multi(
-        vec![ActionClass::CrossRight, ActionClass::CrossLeft],
-        0.85,
-    );
+    let query = ActionQuery::multi(vec![ActionClass::CrossRight, ActionClass::CrossLeft], 0.85);
     let planner = QueryPlanner::new(&dataset, test_options());
     let plan = planner.plan(&query);
     let engines = planner.build_engines(&plan);

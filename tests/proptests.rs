@@ -161,7 +161,7 @@ proptest! {
         for v in ds.store.videos() {
             for iv in &v.intervals {
                 prop_assert!(iv.end <= v.num_frames);
-                prop_assert!(iv.len() >= 1);
+                prop_assert!(!iv.is_empty());
             }
             for pair in v.intervals.windows(2) {
                 prop_assert!(pair[0].end <= pair[1].start, "intervals must not overlap");

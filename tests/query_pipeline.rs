@@ -43,14 +43,8 @@ fn cross_model_transfer_runs_with_feature_skew() {
     let similarity =
         zeus::apfg::traits::class_similarity(ActionClass::CrossRight, ActionClass::CrossLeft);
     assert!(similarity >= 0.8, "mirror classes must be similar");
-    let apfg = zeus::apfg::SimulatedApfg::new(
-        vec![ActionClass::CrossLeft],
-        300,
-        8,
-        8,
-        7,
-    )
-    .with_feature_skew(1.0 - similarity);
+    let apfg = zeus::apfg::SimulatedApfg::new(vec![ActionClass::CrossLeft], 300, 8, 8, 7)
+        .with_feature_skew(1.0 - similarity);
 
     let engine = ZeusRl::new(
         apfg,
@@ -73,7 +67,11 @@ fn cross_model_transfer_runs_with_feature_skew() {
         report.fp,
         report.fn_
     );
-    assert!(report.f1() > 0.1, "mirror transfer collapsed: {}", report.f1());
+    assert!(
+        report.f1() > 0.1,
+        "mirror transfer collapsed: {}",
+        report.f1()
+    );
 }
 
 #[test]
@@ -93,7 +91,11 @@ fn domain_shift_reduces_accuracy_consistently() {
         plan.init_config,
         cost.clone(),
     );
-    let shift = domain_shift(DatasetKind::Bdd100k, DatasetKind::Kitti, &[ActionClass::LeftTurn]);
+    let shift = domain_shift(
+        DatasetKind::Bdd100k,
+        DatasetKind::Kitti,
+        &[ActionClass::LeftTurn],
+    );
     assert!(shift > 0.0);
     let shifted_engine = ZeusRl::new(
         plan.apfg.clone().with_domain_shift(shift),
@@ -130,8 +132,15 @@ fn parallel_execution_preserves_results_and_scales() {
     let par = execute_parallel(&engines.sliding, &videos, 4);
     let mut seq_labels = seq.labels.clone();
     seq_labels.sort_by_key(|(id, _)| *id);
-    assert_eq!(seq_labels, par.merged.labels, "parallelism must not change output");
-    assert!(par.speedup() > 2.0, "4 workers should give >2x: {}", par.speedup());
+    assert_eq!(
+        seq_labels, par.merged.labels,
+        "parallelism must not change output"
+    );
+    assert!(
+        par.speedup() > 2.0,
+        "4 workers should give >2x: {}",
+        par.speedup()
+    );
 }
 
 #[test]
@@ -147,9 +156,5 @@ fn knob_masks_restrict_planning() {
     let planner = QueryPlanner::new(&dataset, options);
     let plan = planner.plan(&query);
     assert_eq!(plan.profiles.len(), 16, "4x4 configs at fixed resolution");
-    assert!(plan
-        .space
-        .configs()
-        .iter()
-        .all(|c| c.resolution == 300));
+    assert!(plan.space.configs().iter().all(|c| c.resolution == 300));
 }
