@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-fa7d9662d5449b5c.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-fa7d9662d5449b5c: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ea891d250ca8623a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ea891d250ca8623a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a03d5454b7359214.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a03d5454b7359214.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a03d5454b7359214.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-36835ba987ddd2db.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-36835ba987ddd2db: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_pipeline-19c18a35a0d3bfdc.d: tests/query_pipeline.rs
+
+/root/repo/target/debug/deps/query_pipeline-19c18a35a0d3bfdc: tests/query_pipeline.rs
+
+tests/query_pipeline.rs:

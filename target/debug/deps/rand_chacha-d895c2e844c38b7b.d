@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-d895c2e844c38b7b.d: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-d895c2e844c38b7b.rlib: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-d895c2e844c38b7b.rmeta: crates/shims/rand_chacha/src/lib.rs
+
+crates/shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-72e91f3037d59147.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-72e91f3037d59147.rlib: crates/shims/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-72e91f3037d59147.rmeta: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

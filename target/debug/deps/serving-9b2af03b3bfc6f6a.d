@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving-9b2af03b3bfc6f6a.d: tests/serving.rs
+
+/root/repo/target/debug/deps/serving-9b2af03b3bfc6f6a: tests/serving.rs
+
+tests/serving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeus-4af8a374886d352c.d: src/bin/zeus.rs
+
+/root/repo/target/debug/deps/zeus-4af8a374886d352c: src/bin/zeus.rs
+
+src/bin/zeus.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/zeus-a72ce43544366714.d: src/lib.rs
+
+/root/repo/target/debug/deps/libzeus-a72ce43544366714.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libzeus-a72ce43544366714.rmeta: src/lib.rs
+
+src/lib.rs:

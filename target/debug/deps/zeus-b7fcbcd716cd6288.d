@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeus-b7fcbcd716cd6288.d: src/lib.rs
+
+/root/repo/target/debug/deps/zeus-b7fcbcd716cd6288: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/zeus-e037eddb4467bb37.d: src/bin/zeus.rs
+
+/root/repo/target/debug/deps/zeus-e037eddb4467bb37: src/bin/zeus.rs
+
+src/bin/zeus.rs:

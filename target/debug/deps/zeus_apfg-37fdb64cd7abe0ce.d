@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/zeus_apfg-37fdb64cd7abe0ce.d: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs
+
+/root/repo/target/debug/deps/libzeus_apfg-37fdb64cd7abe0ce.rlib: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs
+
+/root/repo/target/debug/deps/libzeus_apfg-37fdb64cd7abe0ce.rmeta: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs
+
+crates/apfg/src/lib.rs:
+crates/apfg/src/cache.rs:
+crates/apfg/src/config.rs:
+crates/apfg/src/feature.rs:
+crates/apfg/src/frame_pp.rs:
+crates/apfg/src/r3d_lite.rs:
+crates/apfg/src/segment_pp.rs:
+crates/apfg/src/simulated.rs:
+crates/apfg/src/traits.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/zeus_nn-4a6f56bed543d676.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs
+
+/root/repo/target/debug/deps/libzeus_nn-4a6f56bed543d676.rlib: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs
+
+/root/repo/target/debug/deps/libzeus_nn-4a6f56bed543d676.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/tensor.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/zeus_rl-3abe01a5a50e3279.d: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs
+
+/root/repo/target/debug/deps/libzeus_rl-3abe01a5a50e3279.rlib: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs
+
+/root/repo/target/debug/deps/libzeus_rl-3abe01a5a50e3279.rmeta: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/agent.rs:
+crates/rl/src/env.rs:
+crates/rl/src/replay.rs:
+crates/rl/src/reward.rs:
+crates/rl/src/schedule.rs:
+crates/rl/src/trainer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/zeus_serve-44b4677528133972.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/metrics.rs crates/serve/src/plans.rs crates/serve/src/pool.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+/root/repo/target/debug/deps/libzeus_serve-44b4677528133972.rlib: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/metrics.rs crates/serve/src/plans.rs crates/serve/src/pool.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+/root/repo/target/debug/deps/libzeus_serve-44b4677528133972.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/metrics.rs crates/serve/src/plans.rs crates/serve/src/pool.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/plans.rs:
+crates/serve/src/pool.rs:
+crates/serve/src/request.rs:
+crates/serve/src/server.rs:
+crates/serve/src/workload.rs:

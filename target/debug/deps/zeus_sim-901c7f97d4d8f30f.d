@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/zeus_sim-901c7f97d4d8f30f.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs
+
+/root/repo/target/debug/deps/libzeus_sim-901c7f97d4d8f30f.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs
+
+/root/repo/target/debug/deps/libzeus_sim-901c7f97d4d8f30f.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/device.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/zeus_video-ffda7f79ce3ab613.d: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs
+
+/root/repo/target/debug/deps/libzeus_video-ffda7f79ce3ab613.rlib: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs
+
+/root/repo/target/debug/deps/libzeus_video-ffda7f79ce3ab613.rmeta: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs
+
+crates/video/src/lib.rs:
+crates/video/src/annotation.rs:
+crates/video/src/datasets.rs:
+crates/video/src/frame.rs:
+crates/video/src/scene.rs:
+crates/video/src/segment.rs:
+crates/video/src/stats.rs:
+crates/video/src/video.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/accuracy_sweep-9755e76bd8c264a2.d: examples/accuracy_sweep.rs
+
+/root/repo/target/debug/examples/accuracy_sweep-9755e76bd8c264a2: examples/accuracy_sweep.rs
+
+examples/accuracy_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-565560025697e5eb.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-565560025697e5eb: examples/quickstart.rs
+
+examples/quickstart.rs:

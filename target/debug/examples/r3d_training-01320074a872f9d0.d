@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/r3d_training-01320074a872f9d0.d: examples/r3d_training.rs
+
+/root/repo/target/debug/examples/r3d_training-01320074a872f9d0: examples/r3d_training.rs
+
+examples/r3d_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving-c73fa3c77eca029c.d: examples/serving.rs
+
+/root/repo/target/debug/examples/serving-c73fa3c77eca029c: examples/serving.rs
+
+examples/serving.rs:

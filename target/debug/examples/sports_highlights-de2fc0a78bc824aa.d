@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sports_highlights-de2fc0a78bc824aa.d: examples/sports_highlights.rs
+
+/root/repo/target/debug/examples/sports_highlights-de2fc0a78bc824aa: examples/sports_highlights.rs
+
+examples/sports_highlights.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/traffic_analytics-b9c81b250f159e6f.d: examples/traffic_analytics.rs
+
+/root/repo/target/debug/examples/traffic_analytics-b9c81b250f159e6f: examples/traffic_analytics.rs
+
+examples/traffic_analytics.rs:

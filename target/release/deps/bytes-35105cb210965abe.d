@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-35105cb210965abe.d: crates/shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-35105cb210965abe.rmeta: crates/shims/bytes/src/lib.rs Cargo.toml
+
+crates/shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bytes-3db0797ac1e8a69b.d: crates/shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libbytes-3db0797ac1e8a69b.rmeta: crates/shims/bytes/src/lib.rs Cargo.toml
+
+crates/shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

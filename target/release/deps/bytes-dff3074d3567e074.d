@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bytes-dff3074d3567e074.d: crates/shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/bytes-dff3074d3567e074: crates/shims/bytes/src/lib.rs
+
+crates/shims/bytes/src/lib.rs:

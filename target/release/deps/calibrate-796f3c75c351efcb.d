@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibrate-796f3c75c351efcb.d: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibrate-796f3c75c351efcb.rmeta: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+crates/bench/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

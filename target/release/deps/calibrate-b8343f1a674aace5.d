@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-b8343f1a674aace5.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-b8343f1a674aace5: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

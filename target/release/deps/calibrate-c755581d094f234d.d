@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/calibrate-c755581d094f234d.d: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+/root/repo/target/release/deps/libcalibrate-c755581d094f234d.rmeta: crates/bench/src/bin/calibrate.rs Cargo.toml
+
+crates/bench/src/bin/calibrate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

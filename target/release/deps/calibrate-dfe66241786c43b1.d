@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-dfe66241786c43b1.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-dfe66241786c43b1: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-036508f6c0cda44c.d: crates/shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-036508f6c0cda44c.rmeta: crates/shims/criterion/src/lib.rs Cargo.toml
+
+crates/shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

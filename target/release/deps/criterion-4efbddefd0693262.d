@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/criterion-4efbddefd0693262.d: crates/shims/criterion/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcriterion-4efbddefd0693262.rmeta: crates/shims/criterion/src/lib.rs Cargo.toml
+
+crates/shims/criterion/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-a53be034159f18a9.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-a53be034159f18a9: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-47d10e43de91b284.d: crates/shims/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-47d10e43de91b284.rmeta: crates/shims/crossbeam/src/lib.rs Cargo.toml
+
+crates/shims/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crossbeam-6e6d5c0c1ddce7fb.d: crates/shims/crossbeam/src/lib.rs
+
+/root/repo/target/release/deps/crossbeam-6e6d5c0c1ddce7fb: crates/shims/crossbeam/src/lib.rs
+
+crates/shims/crossbeam/src/lib.rs:

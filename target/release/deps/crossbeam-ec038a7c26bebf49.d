@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/crossbeam-ec038a7c26bebf49.d: crates/shims/crossbeam/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libcrossbeam-ec038a7c26bebf49.rmeta: crates/shims/crossbeam/src/lib.rs Cargo.toml
+
+crates/shims/crossbeam/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

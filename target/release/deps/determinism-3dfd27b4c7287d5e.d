@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-3dfd27b4c7287d5e.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-3dfd27b4c7287d5e.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

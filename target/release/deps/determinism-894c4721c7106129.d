@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-894c4721c7106129.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-894c4721c7106129: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-217c6858f6c2c5e7.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-217c6858f6c2c5e7: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/generation_properties-0ab70f114ab0579a.d: crates/video/tests/generation_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libgeneration_properties-0ab70f114ab0579a.rmeta: crates/video/tests/generation_properties.rs Cargo.toml
+
+crates/video/tests/generation_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generation_properties-f7d269b10af7d4a1.d: crates/video/tests/generation_properties.rs
+
+/root/repo/target/release/deps/generation_properties-f7d269b10af7d4a1: crates/video/tests/generation_properties.rs
+
+crates/video/tests/generation_properties.rs:

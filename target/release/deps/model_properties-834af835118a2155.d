@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/model_properties-834af835118a2155.d: crates/apfg/tests/model_properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libmodel_properties-834af835118a2155.rmeta: crates/apfg/tests/model_properties.rs Cargo.toml
+
+crates/apfg/tests/model_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/model_properties-c8b77348cc8d6b64.d: crates/apfg/tests/model_properties.rs
+
+/root/repo/target/release/deps/model_properties-c8b77348cc8d6b64: crates/apfg/tests/model_properties.rs
+
+crates/apfg/tests/model_properties.rs:

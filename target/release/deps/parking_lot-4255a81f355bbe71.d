@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-4255a81f355bbe71.d: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-4255a81f355bbe71.rmeta: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+crates/shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

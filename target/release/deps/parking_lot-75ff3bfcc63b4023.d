@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/parking_lot-75ff3bfcc63b4023.d: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libparking_lot-75ff3bfcc63b4023.rmeta: crates/shims/parking_lot/src/lib.rs Cargo.toml
+
+crates/shims/parking_lot/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-bebe8f4a1c3386f7.d: crates/shims/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-bebe8f4a1c3386f7: crates/shims/parking_lot/src/lib.rs
+
+crates/shims/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-0fa6510698d62791.d: crates/nn/tests/properties.rs
+
+/root/repo/target/release/deps/properties-0fa6510698d62791: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-c910f1e4e66d971e.d: crates/nn/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-c910f1e4e66d971e.rmeta: crates/nn/tests/properties.rs Cargo.toml
+
+crates/nn/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0035dc285bd82b32.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0035dc285bd82b32.rlib: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0035dc285bd82b32.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-b24ddd03d9ff5932.d: crates/shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-b24ddd03d9ff5932.rmeta: crates/shims/proptest/src/lib.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-bd91a85577957634.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-bd91a85577957634: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

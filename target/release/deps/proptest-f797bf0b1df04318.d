@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptest-f797bf0b1df04318.d: crates/shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptest-f797bf0b1df04318.rmeta: crates/shims/proptest/src/lib.rs Cargo.toml
+
+crates/shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/proptests-90541d44f13327aa.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/release/deps/libproptests-90541d44f13327aa.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

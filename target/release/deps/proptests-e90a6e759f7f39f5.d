@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-e90a6e759f7f39f5.d: tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-e90a6e759f7f39f5: tests/proptests.rs
+
+tests/proptests.rs:

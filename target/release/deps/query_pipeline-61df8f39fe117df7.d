@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/query_pipeline-61df8f39fe117df7.d: tests/query_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libquery_pipeline-61df8f39fe117df7.rmeta: tests/query_pipeline.rs Cargo.toml
+
+tests/query_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

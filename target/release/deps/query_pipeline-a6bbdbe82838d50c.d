@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/query_pipeline-a6bbdbe82838d50c.d: tests/query_pipeline.rs
+
+/root/repo/target/release/deps/query_pipeline-a6bbdbe82838d50c: tests/query_pipeline.rs
+
+tests/query_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand-7e0ab3d365c478cd.d: crates/shims/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand-7e0ab3d365c478cd.rmeta: crates/shims/rand/src/lib.rs Cargo.toml
+
+crates/shims/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-1950ce3c0f1c2e9e.d: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-1950ce3c0f1c2e9e: crates/shims/rand_chacha/src/lib.rs
+
+crates/shims/rand_chacha/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-5d19312dcfb0a68c.d: crates/shims/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-5d19312dcfb0a68c.rmeta: crates/shims/rand_chacha/src/lib.rs Cargo.toml
+
+crates/shims/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

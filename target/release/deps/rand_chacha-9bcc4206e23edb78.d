@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-9bcc4206e23edb78.d: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-9bcc4206e23edb78.rlib: crates/shims/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-9bcc4206e23edb78.rmeta: crates/shims/rand_chacha/src/lib.rs
+
+crates/shims/rand_chacha/src/lib.rs:

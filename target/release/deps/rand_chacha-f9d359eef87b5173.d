@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rand_chacha-f9d359eef87b5173.d: crates/shims/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/librand_chacha-f9d359eef87b5173.rmeta: crates/shims/rand_chacha/src/lib.rs Cargo.toml
+
+crates/shims/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reproduce-97098afe290c879d.d: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/release/deps/libreproduce-97098afe290c879d.rmeta: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+crates/bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

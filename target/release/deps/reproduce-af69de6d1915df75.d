@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-af69de6d1915df75.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-af69de6d1915df75: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reproduce-e93c2a1b35507df0.d: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/release/deps/libreproduce-e93c2a1b35507df0.rmeta: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+crates/bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

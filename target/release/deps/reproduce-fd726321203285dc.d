@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-fd726321203285dc.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-fd726321203285dc: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/reproduction-b5dfd92a68d2ba57.d: crates/bench/benches/reproduction.rs Cargo.toml
+
+/root/repo/target/release/deps/libreproduction-b5dfd92a68d2ba57.rmeta: crates/bench/benches/reproduction.rs Cargo.toml
+
+crates/bench/benches/reproduction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-919ccee1efc48492.d: crates/shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-919ccee1efc48492.rmeta: crates/shims/serde/src/lib.rs Cargo.toml
+
+crates/shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

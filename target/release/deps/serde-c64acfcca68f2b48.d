@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-c64acfcca68f2b48.d: crates/shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde-c64acfcca68f2b48.rmeta: crates/shims/serde/src/lib.rs Cargo.toml
+
+crates/shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-c88b7d7969bcf9e9.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-c88b7d7969bcf9e9: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

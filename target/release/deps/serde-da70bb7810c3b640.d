@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-da70bb7810c3b640.d: crates/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-da70bb7810c3b640.rlib: crates/shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-da70bb7810c3b640.rmeta: crates/shims/serde/src/lib.rs
+
+crates/shims/serde/src/lib.rs:

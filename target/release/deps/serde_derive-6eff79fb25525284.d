@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-6eff79fb25525284.d: crates/shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-6eff79fb25525284.so: crates/shims/serde_derive/src/lib.rs Cargo.toml
+
+crates/shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-aada50afcece4fce.d: crates/shims/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-aada50afcece4fce: crates/shims/serde_derive/src/lib.rs
+
+crates/shims/serde_derive/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde_derive-cfb4832e13527e2b.d: crates/shims/serde_derive/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libserde_derive-cfb4832e13527e2b.rmeta: crates/shims/serde_derive/src/lib.rs Cargo.toml
+
+crates/shims/serde_derive/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

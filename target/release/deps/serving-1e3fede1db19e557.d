@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serving-1e3fede1db19e557.d: tests/serving.rs Cargo.toml
+
+/root/repo/target/release/deps/libserving-1e3fede1db19e557.rmeta: tests/serving.rs Cargo.toml
+
+tests/serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serving-c0451f1d50d93bb4.d: crates/serve/tests/serving.rs Cargo.toml
+
+/root/repo/target/release/deps/libserving-c0451f1d50d93bb4.rmeta: crates/serve/tests/serving.rs Cargo.toml
+
+crates/serve/tests/serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving-ed7a0c22cf50f059.d: tests/serving.rs
+
+/root/repo/target/release/deps/serving-ed7a0c22cf50f059: tests/serving.rs
+
+tests/serving.rs:

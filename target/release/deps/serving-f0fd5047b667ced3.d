@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving-f0fd5047b667ced3.d: crates/serve/tests/serving.rs
+
+/root/repo/target/release/deps/serving-f0fd5047b667ced3: crates/serve/tests/serving.rs
+
+crates/serve/tests/serving.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/zeus-1768f3c33c8c3f69.d: src/lib.rs
+
+/root/repo/target/release/deps/libzeus-1768f3c33c8c3f69.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libzeus-1768f3c33c8c3f69.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zeus-584417a957314ed7.d: src/lib.rs
+
+/root/repo/target/release/deps/zeus-584417a957314ed7: src/lib.rs
+
+src/lib.rs:

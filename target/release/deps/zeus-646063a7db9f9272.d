@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zeus-646063a7db9f9272.d: src/bin/zeus.rs
+
+/root/repo/target/release/deps/zeus-646063a7db9f9272: src/bin/zeus.rs
+
+src/bin/zeus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/zeus-8a825a3031dfe0ed.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus-8a825a3031dfe0ed.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/zeus-957aef147c006db5.d: src/bin/zeus.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus-957aef147c006db5.rmeta: src/bin/zeus.rs Cargo.toml
+
+src/bin/zeus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

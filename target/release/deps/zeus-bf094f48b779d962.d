@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/zeus-bf094f48b779d962.d: src/bin/zeus.rs
+
+/root/repo/target/release/deps/zeus-bf094f48b779d962: src/bin/zeus.rs
+
+src/bin/zeus.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/zeus-cd59b060214e4a3a.d: src/bin/zeus.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus-cd59b060214e4a3a.rmeta: src/bin/zeus.rs Cargo.toml
+
+src/bin/zeus.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/zeus-de76b1cfed939f89.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus-de76b1cfed939f89.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

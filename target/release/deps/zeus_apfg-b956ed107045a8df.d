@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/zeus_apfg-b956ed107045a8df.d: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus_apfg-b956ed107045a8df.rmeta: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs Cargo.toml
+
+crates/apfg/src/lib.rs:
+crates/apfg/src/cache.rs:
+crates/apfg/src/config.rs:
+crates/apfg/src/feature.rs:
+crates/apfg/src/frame_pp.rs:
+crates/apfg/src/r3d_lite.rs:
+crates/apfg/src/segment_pp.rs:
+crates/apfg/src/simulated.rs:
+crates/apfg/src/traits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zeus_apfg-c90685d869dd82ca.d: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs
+
+/root/repo/target/release/deps/libzeus_apfg-c90685d869dd82ca.rlib: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs
+
+/root/repo/target/release/deps/libzeus_apfg-c90685d869dd82ca.rmeta: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs
+
+crates/apfg/src/lib.rs:
+crates/apfg/src/cache.rs:
+crates/apfg/src/config.rs:
+crates/apfg/src/feature.rs:
+crates/apfg/src/frame_pp.rs:
+crates/apfg/src/r3d_lite.rs:
+crates/apfg/src/segment_pp.rs:
+crates/apfg/src/simulated.rs:
+crates/apfg/src/traits.rs:

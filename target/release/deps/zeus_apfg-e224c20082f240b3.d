@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/zeus_apfg-e224c20082f240b3.d: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs
+
+/root/repo/target/release/deps/zeus_apfg-e224c20082f240b3: crates/apfg/src/lib.rs crates/apfg/src/cache.rs crates/apfg/src/config.rs crates/apfg/src/feature.rs crates/apfg/src/frame_pp.rs crates/apfg/src/r3d_lite.rs crates/apfg/src/segment_pp.rs crates/apfg/src/simulated.rs crates/apfg/src/traits.rs
+
+crates/apfg/src/lib.rs:
+crates/apfg/src/cache.rs:
+crates/apfg/src/config.rs:
+crates/apfg/src/feature.rs:
+crates/apfg/src/frame_pp.rs:
+crates/apfg/src/r3d_lite.rs:
+crates/apfg/src/segment_pp.rs:
+crates/apfg/src/simulated.rs:
+crates/apfg/src/traits.rs:

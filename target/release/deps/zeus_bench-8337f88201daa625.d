@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zeus_bench-8337f88201daa625.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libzeus_bench-8337f88201daa625.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/libzeus_bench-8337f88201daa625.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/tables.rs:

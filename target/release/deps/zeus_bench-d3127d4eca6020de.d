@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/zeus_bench-d3127d4eca6020de.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/tables.rs
+
+/root/repo/target/release/deps/zeus_bench-d3127d4eca6020de: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/tables.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/tables.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zeus_bench-f3ba8792f36230ee.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/tables.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus_bench-f3ba8792f36230ee.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/harness.rs crates/bench/src/tables.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/harness.rs:
+crates/bench/src/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/zeus_core-ec980bf0751203ba.d: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/frame_pp.rs crates/core/src/baselines/heuristic.rs crates/core/src/baselines/segment_pp.rs crates/core/src/baselines/sliding.rs crates/core/src/baselines/zeus_rl.rs crates/core/src/catalog.rs crates/core/src/config.rs crates/core/src/env.rs crates/core/src/metrics.rs crates/core/src/parallel.rs crates/core/src/planner.rs crates/core/src/query.rs crates/core/src/result.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus_core-ec980bf0751203ba.rmeta: crates/core/src/lib.rs crates/core/src/baselines/mod.rs crates/core/src/baselines/frame_pp.rs crates/core/src/baselines/heuristic.rs crates/core/src/baselines/segment_pp.rs crates/core/src/baselines/sliding.rs crates/core/src/baselines/zeus_rl.rs crates/core/src/catalog.rs crates/core/src/config.rs crates/core/src/env.rs crates/core/src/metrics.rs crates/core/src/parallel.rs crates/core/src/planner.rs crates/core/src/query.rs crates/core/src/result.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/baselines/mod.rs:
+crates/core/src/baselines/frame_pp.rs:
+crates/core/src/baselines/heuristic.rs:
+crates/core/src/baselines/segment_pp.rs:
+crates/core/src/baselines/sliding.rs:
+crates/core/src/baselines/zeus_rl.rs:
+crates/core/src/catalog.rs:
+crates/core/src/config.rs:
+crates/core/src/env.rs:
+crates/core/src/metrics.rs:
+crates/core/src/parallel.rs:
+crates/core/src/planner.rs:
+crates/core/src/query.rs:
+crates/core/src/result.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zeus_nn-26fdb7f46b5542cf.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs
+
+/root/repo/target/release/deps/zeus_nn-26fdb7f46b5542cf: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/tensor.rs:

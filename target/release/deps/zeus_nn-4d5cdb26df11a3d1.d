@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/zeus_nn-4d5cdb26df11a3d1.d: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus_nn-4d5cdb26df11a3d1.rmeta: crates/nn/src/lib.rs crates/nn/src/activation.rs crates/nn/src/conv.rs crates/nn/src/init.rs crates/nn/src/linear.rs crates/nn/src/loss.rs crates/nn/src/mlp.rs crates/nn/src/optim.rs crates/nn/src/param.rs crates/nn/src/serialize.rs crates/nn/src/tensor.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/activation.rs:
+crates/nn/src/conv.rs:
+crates/nn/src/init.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/mlp.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/param.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/zeus_rl-26c4037e7aa9b0ed.d: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs
+
+/root/repo/target/release/deps/libzeus_rl-26c4037e7aa9b0ed.rlib: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs
+
+/root/repo/target/release/deps/libzeus_rl-26c4037e7aa9b0ed.rmeta: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/agent.rs:
+crates/rl/src/env.rs:
+crates/rl/src/replay.rs:
+crates/rl/src/reward.rs:
+crates/rl/src/schedule.rs:
+crates/rl/src/trainer.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zeus_rl-c0e1b6c5fa4cec73.d: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus_rl-c0e1b6c5fa4cec73.rmeta: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs Cargo.toml
+
+crates/rl/src/lib.rs:
+crates/rl/src/agent.rs:
+crates/rl/src/env.rs:
+crates/rl/src/replay.rs:
+crates/rl/src/reward.rs:
+crates/rl/src/schedule.rs:
+crates/rl/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

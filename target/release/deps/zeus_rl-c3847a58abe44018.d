@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/zeus_rl-c3847a58abe44018.d: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs
+
+/root/repo/target/release/deps/zeus_rl-c3847a58abe44018: crates/rl/src/lib.rs crates/rl/src/agent.rs crates/rl/src/env.rs crates/rl/src/replay.rs crates/rl/src/reward.rs crates/rl/src/schedule.rs crates/rl/src/trainer.rs
+
+crates/rl/src/lib.rs:
+crates/rl/src/agent.rs:
+crates/rl/src/env.rs:
+crates/rl/src/replay.rs:
+crates/rl/src/reward.rs:
+crates/rl/src/schedule.rs:
+crates/rl/src/trainer.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/zeus_serve-1d2cc58af0c70ed4.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/metrics.rs crates/serve/src/plans.rs crates/serve/src/pool.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/workload.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus_serve-1d2cc58af0c70ed4.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/metrics.rs crates/serve/src/plans.rs crates/serve/src/pool.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/workload.rs Cargo.toml
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/plans.rs:
+crates/serve/src/pool.rs:
+crates/serve/src/request.rs:
+crates/serve/src/server.rs:
+crates/serve/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/zeus_serve-854865a01e03ff1e.d: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/metrics.rs crates/serve/src/plans.rs crates/serve/src/pool.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+/root/repo/target/release/deps/libzeus_serve-854865a01e03ff1e.rlib: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/metrics.rs crates/serve/src/plans.rs crates/serve/src/pool.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+/root/repo/target/release/deps/libzeus_serve-854865a01e03ff1e.rmeta: crates/serve/src/lib.rs crates/serve/src/admission.rs crates/serve/src/cache.rs crates/serve/src/metrics.rs crates/serve/src/plans.rs crates/serve/src/pool.rs crates/serve/src/request.rs crates/serve/src/server.rs crates/serve/src/workload.rs
+
+crates/serve/src/lib.rs:
+crates/serve/src/admission.rs:
+crates/serve/src/cache.rs:
+crates/serve/src/metrics.rs:
+crates/serve/src/plans.rs:
+crates/serve/src/pool.rs:
+crates/serve/src/request.rs:
+crates/serve/src/server.rs:
+crates/serve/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zeus_sim-8b2c4cadbdc7b729.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus_sim-8b2c4cadbdc7b729.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

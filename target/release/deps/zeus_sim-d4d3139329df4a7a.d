@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/zeus_sim-d4d3139329df4a7a.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs
+
+/root/repo/target/release/deps/libzeus_sim-d4d3139329df4a7a.rlib: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs
+
+/root/repo/target/release/deps/libzeus_sim-d4d3139329df4a7a.rmeta: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/device.rs:

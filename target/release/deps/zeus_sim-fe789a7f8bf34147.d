@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/zeus_sim-fe789a7f8bf34147.d: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs
+
+/root/repo/target/release/deps/zeus_sim-fe789a7f8bf34147: crates/sim/src/lib.rs crates/sim/src/clock.rs crates/sim/src/cost.rs crates/sim/src/device.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/clock.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/device.rs:

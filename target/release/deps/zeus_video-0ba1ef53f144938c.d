@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/zeus_video-0ba1ef53f144938c.d: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs Cargo.toml
+
+/root/repo/target/release/deps/libzeus_video-0ba1ef53f144938c.rmeta: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs Cargo.toml
+
+crates/video/src/lib.rs:
+crates/video/src/annotation.rs:
+crates/video/src/datasets.rs:
+crates/video/src/frame.rs:
+crates/video/src/scene.rs:
+crates/video/src/segment.rs:
+crates/video/src/stats.rs:
+crates/video/src/video.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

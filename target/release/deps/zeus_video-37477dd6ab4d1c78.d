@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/zeus_video-37477dd6ab4d1c78.d: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs
+
+/root/repo/target/release/deps/libzeus_video-37477dd6ab4d1c78.rlib: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs
+
+/root/repo/target/release/deps/libzeus_video-37477dd6ab4d1c78.rmeta: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs
+
+crates/video/src/lib.rs:
+crates/video/src/annotation.rs:
+crates/video/src/datasets.rs:
+crates/video/src/frame.rs:
+crates/video/src/scene.rs:
+crates/video/src/segment.rs:
+crates/video/src/stats.rs:
+crates/video/src/video.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/zeus_video-f64805416f05582c.d: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs
+
+/root/repo/target/release/deps/zeus_video-f64805416f05582c: crates/video/src/lib.rs crates/video/src/annotation.rs crates/video/src/datasets.rs crates/video/src/frame.rs crates/video/src/scene.rs crates/video/src/segment.rs crates/video/src/stats.rs crates/video/src/video.rs
+
+crates/video/src/lib.rs:
+crates/video/src/annotation.rs:
+crates/video/src/datasets.rs:
+crates/video/src/frame.rs:
+crates/video/src/scene.rs:
+crates/video/src/segment.rs:
+crates/video/src/stats.rs:
+crates/video/src/video.rs:

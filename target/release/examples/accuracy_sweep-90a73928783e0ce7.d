@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/accuracy_sweep-90a73928783e0ce7.d: examples/accuracy_sweep.rs Cargo.toml
+
+/root/repo/target/release/examples/libaccuracy_sweep-90a73928783e0ce7.rmeta: examples/accuracy_sweep.rs Cargo.toml
+
+examples/accuracy_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/accuracy_sweep-f3d6fac656dbbfe2.d: examples/accuracy_sweep.rs
+
+/root/repo/target/release/examples/accuracy_sweep-f3d6fac656dbbfe2: examples/accuracy_sweep.rs
+
+examples/accuracy_sweep.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-b34acdf833d3a82e.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-b34acdf833d3a82e.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-ffae177053521058.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-ffae177053521058: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/r3d_training-64b89ac80803ec67.d: examples/r3d_training.rs
+
+/root/repo/target/release/examples/r3d_training-64b89ac80803ec67: examples/r3d_training.rs
+
+examples/r3d_training.rs:

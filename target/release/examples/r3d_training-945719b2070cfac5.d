@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/r3d_training-945719b2070cfac5.d: examples/r3d_training.rs Cargo.toml
+
+/root/repo/target/release/examples/libr3d_training-945719b2070cfac5.rmeta: examples/r3d_training.rs Cargo.toml
+
+examples/r3d_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serving-82fdeeae08c7375d.d: examples/serving.rs
+
+/root/repo/target/release/examples/serving-82fdeeae08c7375d: examples/serving.rs
+
+examples/serving.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/serving-9350e09a43b129ac.d: examples/serving.rs Cargo.toml
+
+/root/repo/target/release/examples/libserving-9350e09a43b129ac.rmeta: examples/serving.rs Cargo.toml
+
+examples/serving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/sports_highlights-3fec9d2e786208f5.d: examples/sports_highlights.rs Cargo.toml
+
+/root/repo/target/release/examples/libsports_highlights-3fec9d2e786208f5.rmeta: examples/sports_highlights.rs Cargo.toml
+
+examples/sports_highlights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sports_highlights-9ace44c267d271bf.d: examples/sports_highlights.rs
+
+/root/repo/target/release/examples/sports_highlights-9ace44c267d271bf: examples/sports_highlights.rs
+
+examples/sports_highlights.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/traffic_analytics-59ccad0bf8712c6d.d: examples/traffic_analytics.rs Cargo.toml
+
+/root/repo/target/release/examples/libtraffic_analytics-59ccad0bf8712c6d.rmeta: examples/traffic_analytics.rs Cargo.toml
+
+examples/traffic_analytics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

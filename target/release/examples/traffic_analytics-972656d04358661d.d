@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/traffic_analytics-972656d04358661d.d: examples/traffic_analytics.rs
+
+/root/repo/target/release/examples/traffic_analytics-972656d04358661d: examples/traffic_analytics.rs
+
+examples/traffic_analytics.rs:
