@@ -1,0 +1,558 @@
+//! The fluent session façade: dataset + planner + plan store behind one
+//! handle, queries as ZQL strings in, answer sets out.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock};
+
+use zeus_core::baselines::{QueryEngine, ZeusSliding};
+use zeus_core::catalog::{PlanCatalog, StoredPlan};
+use zeus_core::config::ConfigSpace;
+use zeus_core::metrics::{EvalProtocol, EvalReport};
+use zeus_core::planner::{ConfigProfile, PlanError, PlannerOptions, QueryPlan, QueryPlanner};
+use zeus_core::query::{parse_zql, ActionQuery, QueryIr};
+use zeus_core::result::{ConfigHistogram, QueryResult};
+use zeus_core::ExecutorKind;
+use zeus_serve::{CorpusId, PlanStore, QueryRefiner, SegmentHit, ServeConfig, ZeusServer};
+use zeus_sim::SimClock;
+use zeus_video::annotation::runs_from_labels;
+use zeus_video::video::Split;
+use zeus_video::{DatasetKind, SyntheticDataset, Video, VideoId};
+
+use crate::error::ZeusError;
+
+/// Fluent construction of a [`ZeusSession`].
+///
+/// ```no_run
+/// use zeus_api::ZeusSession;
+/// use zeus_video::DatasetKind;
+///
+/// let session = ZeusSession::builder()
+///     .dataset(DatasetKind::Bdd100k)
+///     .scale(0.2)
+///     .seed(42)
+///     .build()?;
+/// # Ok::<(), zeus_api::ZeusError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZeusSessionBuilder {
+    kind: DatasetKind,
+    scale: f64,
+    seed: u64,
+    options: PlannerOptions,
+    catalog: Option<PathBuf>,
+    executor: ExecutorKind,
+}
+
+impl Default for ZeusSessionBuilder {
+    fn default() -> Self {
+        ZeusSessionBuilder {
+            kind: DatasetKind::Bdd100k,
+            scale: 0.2,
+            seed: 2022,
+            options: PlannerOptions::default(),
+            catalog: None,
+            executor: ExecutorKind::ZeusRl,
+        }
+    }
+}
+
+impl ZeusSessionBuilder {
+    /// Which synthetic dataset the session is bound to.
+    pub fn dataset(mut self, kind: DatasetKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Corpus generation scale (1.0 = paper scale).
+    pub fn scale(mut self, scale: f64) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// The session seed: generates the corpus and seeds the planner.
+    /// Applied at [`Self::build`], so `.seed()` and `.planner()` may be
+    /// called in either order.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Planner options used for every query planned by the session.
+    /// `options.seed` is overridden by the session seed at build time,
+    /// keeping corpus and planner seeds aligned.
+    pub fn planner(mut self, options: PlannerOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Persist/reuse plans in a `.zpln` catalog directory.
+    pub fn catalog(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.catalog = Some(dir.into());
+        self
+    }
+
+    /// Default executor for queries (`ZeusRl` unless overridden per
+    /// query with [`Query::executor`]).
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Generate the corpus and assemble the session. Fails (typed, no
+    /// panics) on a degenerate scale, an unusable catalog directory, or
+    /// a corpus whose splits are empty.
+    pub fn build(self) -> Result<ZeusSession, ZeusError> {
+        if !(self.scale > 0.0 && self.scale.is_finite()) {
+            return Err(ZeusError::Plan(PlanError::InvalidOptions(format!(
+                "corpus scale must be positive, got {}",
+                self.scale
+            ))));
+        }
+        let mut options = self.options;
+        options.seed = self.seed;
+        let dataset = self.kind.generate(self.scale, self.seed);
+        for (split, name) in [
+            (Split::Train, "train"),
+            (Split::Validation, "validation"),
+            (Split::Test, "test"),
+        ] {
+            if dataset.store.split(split).is_empty() {
+                return Err(ZeusError::Plan(PlanError::EmptySplit(name)));
+            }
+        }
+        let plans = match &self.catalog {
+            Some(dir) => PlanStore::with_catalog(dir)?,
+            None => PlanStore::in_memory(),
+        };
+        Ok(ZeusSession {
+            corpus: CorpusId::new(self.kind, self.scale, self.seed),
+            dataset,
+            options,
+            plans: Arc::new(plans),
+            executor: self.executor,
+            plan_cache: RwLock::new(HashMap::new()),
+            plan_locks: Mutex::new(HashMap::new()),
+            profile_cache: RwLock::new(HashMap::new()),
+        })
+    }
+}
+
+/// Session-local plan-cache key: catalog key + exact target bits.
+type PlanKey = (String, u64);
+
+fn plan_key(query: &ActionQuery) -> PlanKey {
+    (PlanCatalog::key(query), query.target_accuracy.to_bits())
+}
+
+/// The unified entry point to Zeus: one corpus, one planner
+/// configuration, one plan store — and every query a ZQL string.
+///
+/// A session replaces the hand-wired `QueryPlanner::new` → `plan` →
+/// `build_engines` → executor pipeline:
+///
+/// ```no_run
+/// use zeus_api::ZeusSession;
+///
+/// let session = ZeusSession::builder().scale(0.2).build()?;
+/// let response = session
+///     .query(
+///         "SELECT segment_ids FROM UDF(video) \
+///          WHERE action_class = 'cross-right' AND accuracy >= 85% LIMIT 10",
+///     )?
+///     .run()?;
+/// for hit in &response.answer {
+///     println!("{:?} {}..{}", hit.video, hit.start, hit.end);
+/// }
+/// # Ok::<(), zeus_api::ZeusError>(())
+/// ```
+///
+/// Plan resolution never retrains what it can reuse: a query first
+/// checks the session's in-memory plan cache, then the shared
+/// [`PlanStore`] (including the `.zpln` catalog when one is
+/// configured), and only trains from scratch on a complete miss.
+/// [`Self::serve`] starts a [`ZeusServer`] sharing the same plan store,
+/// so everything the session planned is immediately servable.
+pub struct ZeusSession {
+    dataset: SyntheticDataset,
+    corpus: CorpusId,
+    options: PlannerOptions,
+    plans: Arc<PlanStore>,
+    executor: ExecutorKind,
+    /// Full trained plans (with profiles) per query core; the `PlanStore`
+    /// holds the serialized form used by serving and the catalog.
+    plan_cache: RwLock<HashMap<PlanKey, Arc<QueryPlan>>>,
+    /// Per-core training guards: concurrent queries for the same
+    /// uncached core serialize on its guard so training is paid once.
+    plan_locks: Mutex<HashMap<PlanKey, Arc<Mutex<()>>>>,
+    /// Profile tables (Table 2) re-derived for store-resolved plans:
+    /// budgeted sliding queries need them for config re-selection, and
+    /// the profiling pass is paid once per core, not once per run.
+    profile_cache: RwLock<HashMap<PlanKey, Arc<Vec<ConfigProfile>>>>,
+}
+
+impl ZeusSession {
+    /// Start building a session.
+    pub fn builder() -> ZeusSessionBuilder {
+        ZeusSessionBuilder::default()
+    }
+
+    /// The corpus this session queries.
+    pub fn dataset(&self) -> &SyntheticDataset {
+        &self.dataset
+    }
+
+    /// The corpus identity (keys result caches in serving).
+    pub fn corpus_id(&self) -> CorpusId {
+        self.corpus
+    }
+
+    /// The plan store shared with any server started by [`Self::serve`].
+    pub fn plans(&self) -> &Arc<PlanStore> {
+        &self.plans
+    }
+
+    /// Parse a ZQL string into a prepared [`Query`].
+    pub fn query(&self, zql: &str) -> Result<Query<'_>, ZeusError> {
+        self.prepare(parse_zql(zql)?)
+    }
+
+    /// Prepare an already-compiled [`QueryIr`] (validates it first).
+    pub fn prepare(&self, ir: QueryIr) -> Result<Query<'_>, ZeusError> {
+        ir.validate()?;
+        Ok(Query {
+            session: self,
+            ir,
+            executor: self.executor,
+        })
+    }
+
+    /// Start a serving engine over this session's corpus and plan store.
+    ///
+    /// Every query planned through the session (explicitly via
+    /// [`Query::plan`] or implicitly via [`Query::run`]) is resolvable by
+    /// the server without retraining.
+    pub fn serve(&self, config: ServeConfig) -> Result<ZeusServer, ZeusError> {
+        Ok(ZeusServer::start(
+            &self.dataset,
+            self.corpus,
+            Arc::clone(&self.plans),
+            config,
+        )?)
+    }
+
+    fn planner(&self) -> QueryPlanner<'_> {
+        QueryPlanner::new(&self.dataset, self.options.clone())
+    }
+
+    /// The full plan trained this session, if any.
+    fn cached_plan(&self, base: &ActionQuery) -> Option<Arc<QueryPlan>> {
+        self.plan_cache
+            .read()
+            .expect("plan cache")
+            .get(&plan_key(base))
+            .cloned()
+    }
+
+    /// The trained plan for a query core: session cache, then plan from
+    /// scratch (training — the expensive path, paid once per core and
+    /// persisted to the plan store / catalog). Engine construction
+    /// prefers [`Self::cached_plan`] / the [`PlanStore`] and only lands
+    /// here on a complete miss (or for executors that need the full
+    /// profile table).
+    fn base_plan(&self, base: &ActionQuery) -> Result<Arc<QueryPlan>, ZeusError> {
+        if let Some(plan) = self.cached_plan(base) {
+            return Ok(plan);
+        }
+        // Serialize training per core: the first caller trains while
+        // concurrent callers for the same core wait on its guard and
+        // then hit the cache, so training really is paid once.
+        let guard = {
+            let mut locks = self.plan_locks.lock().expect("plan locks");
+            Arc::clone(
+                locks
+                    .entry(plan_key(base))
+                    .or_insert_with(|| Arc::new(Mutex::new(()))),
+            )
+        };
+        let _training = guard.lock().expect("training guard");
+        if let Some(plan) = self.cached_plan(base) {
+            return Ok(plan);
+        }
+        let plan = Arc::new(self.planner().try_plan(base)?);
+        self.plans.install(&plan, self.options.seed)?;
+        self.plan_cache
+            .write()
+            .expect("plan cache")
+            .insert(plan_key(base), Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The profile table for a store-resolved plan, re-derived on first
+    /// use (sliding execution over the validation split — no RL
+    /// training) and cached per core.
+    fn stored_profiles(&self, base: &ActionQuery, stored: &StoredPlan) -> Arc<Vec<ConfigProfile>> {
+        let key = plan_key(base);
+        if let Some(profiles) = self.profile_cache.read().expect("profile cache").get(&key) {
+            return Arc::clone(profiles);
+        }
+        let planner = self.planner();
+        let space = ConfigSpace::for_dataset(self.dataset.kind()).masked(self.options.knob_mask);
+        let profiles = Arc::new(planner.profile_configurations(base, &space, &stored.apfg()));
+        self.profile_cache
+            .write()
+            .expect("profile cache")
+            .insert(key, Arc::clone(&profiles));
+        profiles
+    }
+
+    /// Test-split videos in canonical (id) order.
+    fn test_videos(&self) -> Vec<&Video> {
+        let mut videos = self.dataset.store.split(Split::Test);
+        videos.sort_by_key(|v| v.id);
+        videos
+    }
+}
+
+/// A prepared query bound to a session: pick an executor, then [`run`]
+/// (batch) or [`run_streaming`] (per-video iterator).
+///
+/// [`run`]: Query::run
+/// [`run_streaming`]: Query::run_streaming
+pub struct Query<'s> {
+    session: &'s ZeusSession,
+    ir: QueryIr,
+    executor: ExecutorKind,
+}
+
+/// A query's engine plus the evaluation protocol it was resolved with.
+struct ResolvedEngine {
+    engine: Box<dyn QueryEngine + Send + Sync>,
+    protocol: EvalProtocol,
+}
+
+impl<'s> Query<'s> {
+    /// The compiled IR.
+    pub fn ir(&self) -> &QueryIr {
+        &self.ir
+    }
+
+    /// Round-trip the query back to ZQL text.
+    pub fn to_sql(&self) -> String {
+        self.ir.to_sql()
+    }
+
+    /// Override the executor for this query.
+    pub fn executor(mut self, executor: ExecutorKind) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Ensure this query's core is planned and return the stored form —
+    /// the warm-up path for serving and the catalog. Resolution is
+    /// store-first: a plan already in the session's [`PlanStore`]
+    /// (including one persisted by an earlier process via the catalog)
+    /// is returned as-is; only a complete miss trains.
+    pub fn plan(&self) -> Result<Arc<StoredPlan>, ZeusError> {
+        if let Some(stored) = self.session.plans.get(&self.ir.base) {
+            return Ok(stored);
+        }
+        self.session.base_plan(&self.ir.base)?;
+        self.session
+            .plans
+            .get(&self.ir.base)
+            .ok_or_else(|| ZeusError::Unsupported("freshly trained plan must be stored".into()))
+    }
+
+    /// Train (or fetch from the session cache) the *full* plan for this
+    /// query's core — profiles, training report, and costs included.
+    /// Unlike [`Query::plan`], this cannot be satisfied by a catalog
+    /// entry alone: use it when the full planning artifacts are needed
+    /// (e.g. reporting training costs, building all five engines).
+    pub fn train(&self) -> Result<Arc<QueryPlan>, ZeusError> {
+        self.session.base_plan(&self.ir.base)
+    }
+
+    /// Resolve this query to an engine without retraining what can be
+    /// reused: the session's full-plan cache first, then the plan store
+    /// (catalog) for plan-reconstructable executors, then training.
+    fn resolve(&self) -> Result<ResolvedEngine, ZeusError> {
+        if let Some(plan) = self.session.cached_plan(&self.ir.base) {
+            return Ok(ResolvedEngine {
+                engine: self.engine_from_plan(&plan),
+                protocol: plan.protocol,
+            });
+        }
+        if matches!(
+            self.executor,
+            ExecutorKind::ZeusRl | ExecutorKind::ZeusSliding
+        ) {
+            if let Some(stored) = self.session.plans.get(&self.ir.base) {
+                return Ok(ResolvedEngine {
+                    protocol: stored.protocol,
+                    engine: self.engine_from_stored(&stored),
+                });
+            }
+        }
+        let plan = self.session.base_plan(&self.ir.base)?;
+        Ok(ResolvedEngine {
+            engine: self.engine_from_plan(&plan),
+            protocol: plan.protocol,
+        })
+    }
+
+    /// Build this query's engine from a full trained plan. The
+    /// `latency_budget` clause re-selects Zeus-Sliding's static
+    /// configuration under a throughput floor (tighter budget → faster
+    /// configuration); Zeus-RL adapts per-segment and needs no override.
+    fn engine_from_plan(&self, plan: &QueryPlan) -> Box<dyn QueryEngine + Send + Sync> {
+        let planner = self.session.planner();
+        match (self.executor, planner.budget_min_fps(&self.ir)) {
+            (ExecutorKind::ZeusSliding, Some(floor)) => {
+                let config = QueryPlanner::select_sliding_config_bounded(
+                    &plan.profiles,
+                    self.ir.base.target_accuracy,
+                    Some(floor),
+                )
+                .unwrap_or(plan.sliding_config);
+                Box::new(ZeusSliding::new(
+                    plan.apfg.clone(),
+                    config,
+                    planner.cost_model().clone(),
+                ))
+            }
+            _ => planner.build_engine(plan, self.executor),
+        }
+    }
+
+    /// Build this query's engine from a stored (catalog) plan — no
+    /// training. A `latency_budget` on a sliding query re-profiles the
+    /// configuration space (cheap: sliding execution over the validation
+    /// split, no RL training) to re-select under the throughput floor.
+    fn engine_from_stored(&self, stored: &StoredPlan) -> Box<dyn QueryEngine + Send + Sync> {
+        let planner = self.session.planner();
+        let cost = planner.cost_model().clone();
+        match self.executor {
+            ExecutorKind::ZeusSliding => {
+                if let Some(floor) = planner.budget_min_fps(&self.ir) {
+                    let profiles = self.session.stored_profiles(&self.ir.base, stored);
+                    let config = QueryPlanner::select_sliding_config_bounded(
+                        &profiles,
+                        self.ir.base.target_accuracy,
+                        Some(floor),
+                    )
+                    .unwrap_or(stored.sliding_config);
+                    Box::new(ZeusSliding::new(stored.apfg(), config, cost))
+                } else {
+                    Box::new(stored.sliding_engine(cost))
+                }
+            }
+            _ => Box::new(stored.zeus_rl_engine(cost)),
+        }
+    }
+
+    /// Execute the query over the session's test split and return the
+    /// evaluated response with the refined answer set.
+    pub fn run(&self) -> Result<QueryResponse, ZeusError> {
+        let resolved = self.resolve()?;
+        let videos = self.session.test_videos();
+        let exec = resolved.engine.execute(&videos);
+        let report = exec.evaluate(&videos, &self.ir.base.classes, resolved.protocol);
+        let refiner = QueryRefiner::new(&self.ir, videos.iter().copied());
+        let answer = refiner.answer(&exec.labels);
+        Ok(QueryResponse {
+            result: QueryResult::from_parts(self.executor.name(), &exec, &report),
+            report,
+            answer,
+            ir: self.ir.clone(),
+            executor: self.executor,
+        })
+    }
+
+    /// Execute lazily, yielding one [`VideoResult`] per test-split video
+    /// as it is processed. `WINDOW` and `AND NOT` filter each video's
+    /// segments; `LIMIT n` short-circuits the iteration once `n` segments
+    /// have been yielded (remaining videos are never executed). `ORDER BY`
+    /// needs the full answer set and only applies to [`Query::run`].
+    pub fn run_streaming(&self) -> Result<VideoResults<'s>, ZeusError> {
+        let resolved = self.resolve()?;
+        let videos = self.session.test_videos();
+        let refiner = QueryRefiner::new(&self.ir, videos.iter().copied());
+        Ok(VideoResults {
+            videos,
+            engine: resolved.engine,
+            refiner,
+            pos: 0,
+            emitted: 0,
+        })
+    }
+}
+
+/// The evaluated outcome of [`Query::run`].
+#[derive(Debug, Clone)]
+pub struct QueryResponse {
+    /// The query as compiled.
+    pub ir: QueryIr,
+    /// The engine that executed it.
+    pub executor: ExecutorKind,
+    /// Throughput/accuracy summary (one point in the paper's Figure 8
+    /// plane).
+    pub result: QueryResult,
+    /// The raw evaluation counts behind `result`.
+    pub report: EvalReport,
+    /// The refined answer set (`WINDOW`/`AND NOT`/`ORDER BY`/`LIMIT`
+    /// applied).
+    pub answer: Vec<SegmentHit>,
+}
+
+/// One video's localized segments, yielded by [`Query::run_streaming`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoResult {
+    /// The processed video.
+    pub video: VideoId,
+    /// Refined predicted segments `(start, end)` in frames.
+    pub segments: Vec<(usize, usize)>,
+    /// Simulated device seconds this video cost.
+    pub simulated_secs: f64,
+}
+
+/// Lazy per-video execution: videos run on demand as the iterator is
+/// advanced, so a satisfied `LIMIT` stops paying for the rest of the
+/// corpus.
+pub struct VideoResults<'s> {
+    videos: Vec<&'s Video>,
+    engine: Box<dyn QueryEngine + Send + Sync>,
+    refiner: QueryRefiner,
+    pos: usize,
+    emitted: usize,
+}
+
+impl Iterator for VideoResults<'_> {
+    type Item = VideoResult;
+
+    fn next(&mut self) -> Option<VideoResult> {
+        if let Some(limit) = self.refiner.limit() {
+            if self.emitted >= limit {
+                return None;
+            }
+        }
+        let video = *self.videos.get(self.pos)?;
+        self.pos += 1;
+        let mut clock = SimClock::new();
+        let mut hist = ConfigHistogram::new();
+        let labels = self.engine.execute_video(video, &mut clock, &mut hist);
+        let mut segments = self
+            .refiner
+            .refine_segments(video.id, runs_from_labels(&labels));
+        if let Some(limit) = self.refiner.limit() {
+            let remaining = limit - self.emitted;
+            segments.truncate(remaining);
+        }
+        self.emitted += segments.len();
+        Some(VideoResult {
+            video: video.id,
+            segments,
+            simulated_secs: clock.elapsed_secs(),
+        })
+    }
+}

@@ -74,7 +74,7 @@ fn bench_fig8_executors(c: &mut Criterion) {
     options.trainer.warmup = 64;
     options.candidates.truncate(1);
     let planner = QueryPlanner::new(&ds, options);
-    let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85));
+    let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap());
     let engines = planner.build_engines(&plan);
     let video = ds.store.videos()[0].clone();
 

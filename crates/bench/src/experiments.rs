@@ -775,7 +775,7 @@ pub fn extension_serving(ctx: &ExperimentContext) -> ExperimentOutput {
     let corpus = CorpusId::new(ctx.dataset.kind(), ctx.scale, ctx.seed);
     let templates: Vec<ActionQuery> = targets
         .iter()
-        .map(|&t| ActionQuery::multi(ctx.query.classes.clone(), t))
+        .map(|&t| ActionQuery::multi(ctx.query.classes.clone(), t).unwrap())
         .collect();
     let spec = WorkloadSpec {
         templates: templates.clone(),
@@ -805,7 +805,8 @@ pub fn extension_serving(ctx: &ExperimentContext) -> ExperimentOutput {
                 cache_capacity: 64,
                 ..ServeConfig::default()
             },
-        );
+        )
+        .expect("serve config is valid");
         let report = run_closed_loop(&server, &spec, 8);
         server.shutdown();
         let m = &report.metrics;
@@ -943,7 +944,7 @@ mod tests {
 
     #[test]
     fn query_is_reused_not_retrained_across_targets() {
-        let _ = ActionQuery::new(ActionClass::CrossRight, 0.85);
+        let _ = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
         // 24 identities in the serving experiment share one trained plan;
         // the identity count is part of the experiment's contract.
         let targets: Vec<f64> = (0..24).map(|i| 0.70 + 0.005 * i as f64).collect();

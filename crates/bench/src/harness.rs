@@ -64,7 +64,7 @@ impl ExperimentContext {
         options: PlannerOptions,
     ) -> Self {
         let dataset = kind.generate(scale, DEFAULT_SEED);
-        let query = ActionQuery::multi(classes, target);
+        let query = ActionQuery::multi(classes, target).unwrap();
         let planner = QueryPlanner::new(&dataset, options.clone());
         let plan = planner.plan(&query);
         ExperimentContext {

@@ -249,7 +249,8 @@ pub fn decode_plan(bytes: &[u8]) -> Result<StoredPlan, CatalogError> {
         .map_err(|e| CatalogError::Corrupt(format!("policy: {e}")))?;
 
     Ok(StoredPlan {
-        query: ActionQuery::multi(classes, target),
+        query: ActionQuery::multi(classes, target)
+            .map_err(|e| CatalogError::Corrupt(format!("query: {e}")))?,
         policy,
         sliding_config,
         init_config,
@@ -330,7 +331,7 @@ mod tests {
         options.candidates.truncate(1);
         let seed = options.seed;
         let planner = QueryPlanner::new(&ds, options);
-        let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85));
+        let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap());
         (plan, seed)
     }
 
@@ -397,14 +398,15 @@ mod tests {
         assert_eq!(stored.query, plan.query);
         assert_eq!(catalog.list().unwrap().len(), 1);
         // Missing query → None.
-        let other = ActionQuery::new(ActionClass::PoleVault, 0.75);
+        let other = ActionQuery::new(ActionClass::PoleVault, 0.75).unwrap();
         assert!(catalog.load(&other).unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn key_is_stable_and_filesystem_safe() {
-        let q = ActionQuery::multi(vec![ActionClass::CrossRight, ActionClass::CrossLeft], 0.85);
+        let q = ActionQuery::multi(vec![ActionClass::CrossRight, ActionClass::CrossLeft], 0.85)
+            .unwrap();
         let k = PlanCatalog::key(&q);
         assert_eq!(k, "cross-right+cross-left-085.zpln");
     }

@@ -9,7 +9,7 @@
 //!   profiling (Table 2), static-configuration selection, RL training with
 //!   accuracy-aware aggregate rewards (Algorithms 1 & 2), and training-cost
 //!   accounting (Table 6).
-//! * [`env`] — the video-traversal MDP (§4.1).
+//! * [`mod@env`] — the video-traversal MDP (§4.1).
 //! * [`baselines`] — the five §6.1 techniques: Frame-PP, Segment-PP,
 //!   Zeus-Sliding, Zeus-Heuristic, and Zeus-RL (the system).
 //! * [`metrics`] — the IoU-windowed segment F1 of §2.1.
@@ -34,7 +34,9 @@ pub use catalog::{PlanCatalog, StoredPlan};
 pub use config::{ConfigSpace, KnobMask};
 pub use metrics::{EvalProtocol, EvalReport};
 pub use planner::{
-    ConfigProfile, EngineSet, PlannerOptions, QueryPlan, QueryPlanner, TrainingCosts,
+    ConfigProfile, EngineSet, PlanError, PlannerOptions, QueryPlan, QueryPlanner, TrainingCosts,
 };
-pub use query::{parse_query, ActionQuery, ParseError};
+#[allow(deprecated)]
+pub use query::parse_query;
+pub use query::{parse_zql, ActionQuery, OrderBy, ParseError, QueryIr};
 pub use result::{ConfigHistogram, ExecutionResult, QueryResult};

@@ -14,12 +14,39 @@ use zeus_sim::{CostModel, DeviceProfile};
 use zeus_video::video::Split;
 use zeus_video::{SyntheticDataset, Video};
 
-use crate::baselines::QueryEngine;
+use crate::baselines::{ExecutorKind, QueryEngine};
 use crate::baselines::{FramePp, SegmentPp, ZeusHeuristic, ZeusRl, ZeusSliding};
 use crate::config::{ConfigSpace, KnobMask};
 use crate::env::VideoTraversalEnv;
 use crate::metrics::EvalProtocol;
-use crate::query::ActionQuery;
+use crate::query::{ActionQuery, QueryIr};
+
+/// Typed planning failures: everything that used to be an `assert!` on
+/// planner input is now a variant here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// A required dataset split holds no videos at this corpus scale.
+    EmptySplit(&'static str),
+    /// The (masked) configuration space is empty.
+    EmptySpace,
+    /// Planner options are unusable (e.g. `max_actions < 2`, no
+    /// candidates).
+    InvalidOptions(String),
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::EmptySplit(split) => {
+                write!(f, "dataset {split} split is empty; increase --scale")
+            }
+            PlanError::EmptySpace => write!(f, "configuration space is empty after masking"),
+            PlanError::InvalidOptions(s) => write!(f, "invalid planner options: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
 
 /// Temporal-IoU threshold of the §2.1 segment criterion (IoU > 0.5),
 /// used by the secondary event-level metric.
@@ -258,13 +285,46 @@ impl<'a> QueryPlanner<'a> {
     /// The fastest configuration meeting the target accuracy; falls back
     /// to the most accurate configuration when none qualifies (§4.2).
     pub fn select_sliding_config(profiles: &[ConfigProfile], target: f64) -> Configuration {
+        Self::select_sliding_config_bounded(profiles, target, None).expect("non-empty profile list")
+    }
+
+    /// Static-configuration selection with an optional throughput floor
+    /// (derived from a ZQL `latency_budget`). Preference order:
+    ///
+    /// 1. fastest configuration meeting the accuracy target *and* the
+    ///    floor;
+    /// 2. most accurate configuration meeting the floor (budget kept,
+    ///    accuracy best-effort);
+    /// 3. with a floor set: the fastest configuration outright (closest
+    ///    to the budget); without: the most accurate (§4.2 fallback).
+    ///
+    /// Returns `None` only for an empty profile list.
+    pub fn select_sliding_config_bounded(
+        profiles: &[ConfigProfile],
+        target: f64,
+        min_fps: Option<f64>,
+    ) -> Option<Configuration> {
+        let floor = min_fps.unwrap_or(0.0);
         profiles
             .iter()
-            .filter(|p| p.f1_lcb >= target)
+            .filter(|p| p.f1_lcb >= target && p.throughput_fps >= floor)
             .max_by(|a, b| a.throughput_fps.total_cmp(&b.throughput_fps))
-            .or_else(|| profiles.iter().max_by(|a, b| a.f1.total_cmp(&b.f1)))
-            .expect("non-empty profile list")
-            .config
+            .or_else(|| {
+                profiles
+                    .iter()
+                    .filter(|p| p.throughput_fps >= floor)
+                    .max_by(|a, b| a.f1.total_cmp(&b.f1))
+            })
+            .or_else(|| {
+                if min_fps.is_some() {
+                    profiles
+                        .iter()
+                        .max_by(|a, b| a.throughput_fps.total_cmp(&b.throughput_fps))
+                } else {
+                    profiles.iter().max_by(|a, b| a.f1.total_cmp(&b.f1))
+                }
+            })
+            .map(|p| p.config)
     }
 
     /// The Pareto frontier of the profiled configurations: a configuration
@@ -320,8 +380,72 @@ impl<'a> QueryPlanner<'a> {
     }
 
     /// Plan a query end-to-end: profile, select, train (Algorithm 1 + 2).
+    ///
+    /// Convenience wrapper over [`QueryPlanner::try_plan`] that panics on
+    /// planner-input errors; prefer `try_plan` (or the `zeus-api` session
+    /// layer) in fallible contexts.
     pub fn plan(&self, query: &ActionQuery) -> QueryPlan {
+        self.try_plan(query).expect("plannable query")
+    }
+
+    /// Plan a query end-to-end, returning a typed error instead of
+    /// panicking on unusable options or an empty corpus.
+    pub fn try_plan(&self, query: &ActionQuery) -> Result<QueryPlan, PlanError> {
+        self.plan_inner(query, None)
+    }
+
+    /// Plan an extended-ZQL query: the IR's `latency_budget` is compiled
+    /// into a throughput floor for static-configuration selection (the
+    /// corpus must be traversable within the budget), so a tighter budget
+    /// selects a faster sliding configuration.
+    pub fn try_plan_ir(&self, ir: &QueryIr) -> Result<QueryPlan, PlanError> {
+        self.plan_inner(&ir.base, self.budget_min_fps(ir))
+    }
+
+    /// The throughput floor (fps) implied by an IR's `latency_budget`
+    /// over this planner's test corpus: the whole test split must be
+    /// traversable within the budget. `None` when the IR carries no
+    /// budget. Shared by [`QueryPlanner::try_plan_ir`] and the session
+    /// layer's per-query sliding-config re-selection.
+    pub fn budget_min_fps(&self, ir: &QueryIr) -> Option<f64> {
+        ir.latency_budget_ms.map(|ms| {
+            let frames: u64 = self
+                .dataset
+                .store
+                .split(Split::Test)
+                .iter()
+                .map(|v| v.num_frames as u64)
+                .sum();
+            frames as f64 / (ms / 1e3)
+        })
+    }
+
+    fn plan_inner(
+        &self,
+        query: &ActionQuery,
+        min_fps: Option<f64>,
+    ) -> Result<QueryPlan, PlanError> {
+        if self.options.max_actions < 2 {
+            return Err(PlanError::InvalidOptions(format!(
+                "max_actions must be at least 2, got {}",
+                self.options.max_actions
+            )));
+        }
+        if self.options.candidates.is_empty() {
+            return Err(PlanError::InvalidOptions(
+                "candidate portfolio is empty".into(),
+            ));
+        }
         let space = ConfigSpace::for_dataset(self.dataset.kind()).masked(self.options.knob_mask);
+        if space.is_empty() {
+            return Err(PlanError::EmptySpace);
+        }
+        if self.dataset.store.split(Split::Validation).is_empty() {
+            return Err(PlanError::EmptySplit("validation"));
+        }
+        if self.dataset.store.split(Split::Train).is_empty() {
+            return Err(PlanError::EmptySplit("train"));
+        }
         let apfg = self.build_apfg(query, &space);
         let protocol = EvalProtocol::for_dataset(self.dataset.kind());
 
@@ -330,8 +454,11 @@ impl<'a> QueryPlanner<'a> {
         let max_accuracy = profiles.iter().map(|p| p.f1).fold(0.0, f64::max);
 
         // 2. Zeus-Sliding's static configuration (LCB selection absorbs
-        // the winner's-curse bias of maximising over 27-64 configs).
-        let sliding_config = Self::select_sliding_config(&profiles, query.target_accuracy);
+        // the winner's-curse bias of maximising over 27-64 configs). A
+        // latency budget adds a throughput floor.
+        let sliding_config =
+            Self::select_sliding_config_bounded(&profiles, query.target_accuracy, min_fps)
+                .ok_or(PlanError::EmptySpace)?;
 
         // 2b. Configuration planning: the agent acts over the Pareto
         // frontier of the profiled space.
@@ -441,7 +568,7 @@ impl<'a> QueryPlanner<'a> {
         // 4. Simulated training costs (Table 6).
         let costs = self.training_costs(&space, &training_report, &trainer_cfg);
 
-        QueryPlan {
+        Ok(QueryPlan {
             query: query.clone(),
             space: exec_space,
             profiles,
@@ -453,7 +580,7 @@ impl<'a> QueryPlanner<'a> {
             apfg,
             init_config,
             protocol,
-        }
+        })
     }
 
     /// Simulated training-cost model (Table 6).
@@ -521,6 +648,56 @@ impl<'a> QueryPlanner<'a> {
     /// the most accurate, and the config closest to their geometric-mean
     /// throughput.
     pub fn build_engines(&self, plan: &QueryPlan) -> EngineSet {
+        EngineSet {
+            frame_pp: self.frame_pp_engine(plan),
+            segment_pp: self.segment_pp_engine(plan),
+            sliding: self.sliding_engine(plan),
+            heuristic: self.heuristic_engine(plan),
+            zeus_rl: self.zeus_rl_engine(plan),
+        }
+    }
+
+    /// Construct only the engine for `kind` (the session layer's path:
+    /// one query runs one engine, so the other four are never built).
+    pub fn build_engine(
+        &self,
+        plan: &QueryPlan,
+        kind: ExecutorKind,
+    ) -> Box<dyn QueryEngine + Send + Sync> {
+        match kind {
+            ExecutorKind::FramePp => Box::new(self.frame_pp_engine(plan)),
+            ExecutorKind::SegmentPp => Box::new(self.segment_pp_engine(plan)),
+            ExecutorKind::ZeusSliding => Box::new(self.sliding_engine(plan)),
+            ExecutorKind::ZeusHeuristic => Box::new(self.heuristic_engine(plan)),
+            ExecutorKind::ZeusRl => Box::new(self.zeus_rl_engine(plan)),
+        }
+    }
+
+    fn frame_pp_engine(&self, plan: &QueryPlan) -> FramePp {
+        FramePp::new(
+            FramePpModel::new(
+                plan.query.classes.clone(),
+                plan.space.max_resolution(),
+                self.options.seed ^ 0xF2,
+            ),
+            self.cost.clone(),
+        )
+    }
+
+    fn segment_pp_engine(&self, plan: &QueryPlan) -> SegmentPp {
+        SegmentPp::new(
+            SegmentPpFilter::new(plan.query.classes.clone(), self.options.seed ^ 0x51),
+            plan.apfg.clone(),
+            plan.init_config,
+            self.cost.clone(),
+        )
+    }
+
+    fn sliding_engine(&self, plan: &QueryPlan) -> ZeusSliding {
+        ZeusSliding::new(plan.apfg.clone(), plan.sliding_config, self.cost.clone())
+    }
+
+    fn heuristic_engine(&self, plan: &QueryPlan) -> ZeusHeuristic {
         // §6.1: Zeus-Heuristic operates on "a subset of configurations
         // that are used by Zeus-RL" — draw fast/mid/slow from the plan's
         // (Pareto) action space, not the full knob cross-product.
@@ -531,31 +708,17 @@ impl<'a> QueryPlanner<'a> {
             .copied()
             .collect();
         let (fast, mid, slow) = heuristic_subset(&rl_profiles);
-        EngineSet {
-            frame_pp: FramePp::new(
-                FramePpModel::new(
-                    plan.query.classes.clone(),
-                    plan.space.max_resolution(),
-                    self.options.seed ^ 0xF2,
-                ),
-                self.cost.clone(),
-            ),
-            segment_pp: SegmentPp::new(
-                SegmentPpFilter::new(plan.query.classes.clone(), self.options.seed ^ 0x51),
-                plan.apfg.clone(),
-                plan.init_config,
-                self.cost.clone(),
-            ),
-            sliding: ZeusSliding::new(plan.apfg.clone(), plan.sliding_config, self.cost.clone()),
-            heuristic: ZeusHeuristic::new(plan.apfg.clone(), fast, mid, slow, self.cost.clone()),
-            zeus_rl: ZeusRl::new(
-                plan.apfg.clone(),
-                plan.policy.clone(),
-                plan.space.clone(),
-                plan.init_config,
-                self.cost.clone(),
-            ),
-        }
+        ZeusHeuristic::new(plan.apfg.clone(), fast, mid, slow, self.cost.clone())
+    }
+
+    fn zeus_rl_engine(&self, plan: &QueryPlan) -> ZeusRl {
+        ZeusRl::new(
+            plan.apfg.clone(),
+            plan.policy.clone(),
+            plan.space.clone(),
+            plan.init_config,
+            self.cost.clone(),
+        )
     }
 }
 
@@ -649,6 +812,24 @@ mod tests {
     }
 
     #[test]
+    fn latency_budget_floor_alters_sliding_selection() {
+        // Without a floor, target 0.85 selects (250, 6, 2) at 285 fps.
+        let unbounded =
+            QueryPlanner::select_sliding_config_bounded(&profiles(), 0.85, None).unwrap();
+        assert_eq!(unbounded, Configuration::new(250, 6, 2));
+        // A floor of 400 fps rules that config out: the budget keeps the
+        // most accurate config that is fast enough, (200, 4, 4).
+        let bounded =
+            QueryPlanner::select_sliding_config_bounded(&profiles(), 0.85, Some(400.0)).unwrap();
+        assert_eq!(bounded, Configuration::new(200, 4, 4));
+        // An unsatisfiable floor degrades to the fastest config outright.
+        let extreme =
+            QueryPlanner::select_sliding_config_bounded(&profiles(), 0.85, Some(10_000.0)).unwrap();
+        assert_eq!(extreme, Configuration::new(150, 4, 8));
+        assert!(QueryPlanner::select_sliding_config_bounded(&[], 0.85, None).is_none());
+    }
+
+    #[test]
     fn heuristic_subset_spans_the_space() {
         let (fast, mid, slow) = heuristic_subset(&profiles());
         assert_eq!(fast, Configuration::new(150, 4, 8));
@@ -666,8 +847,8 @@ mod tests {
         options.trainer.warmup = 64;
         options.trainer.epsilon = EpsilonSchedule::new(1.0, 0.1, 500);
         let planner = QueryPlanner::new(&ds, options);
-        let query = ActionQuery::new(ActionClass::CrossRight, 0.85);
-        let plan = planner.plan(&query);
+        let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
+        let plan = planner.try_plan(&query).unwrap();
 
         assert_eq!(plan.profiles.len(), 64);
         assert!(plan.max_accuracy > 0.0);
@@ -676,6 +857,42 @@ mod tests {
         // The trained policy must be usable.
         let a = plan.policy.act(&[0.0; zeus_apfg::FEATURE_DIM]);
         assert!(a < plan.space.len());
+    }
+
+    #[test]
+    fn try_plan_ir_budget_selects_faster_sliding_config() {
+        let ds = DatasetKind::Bdd100k.generate(0.05, 11);
+        let mut options = PlannerOptions::default();
+        options.trainer.episodes = 2;
+        options.trainer.warmup = 64;
+        options.candidates.truncate(1);
+        let planner = QueryPlanner::new(&ds, options);
+        let base = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
+
+        let unbudgeted = planner.try_plan(&base).unwrap();
+        let mut ir = QueryIr::from_query(base);
+        // 1 ms for the whole corpus: the floor is unreachable, so the
+        // planner degrades to the profiled-fastest configuration.
+        ir.latency_budget_ms = Some(1.0);
+        assert!(planner.budget_min_fps(&ir).unwrap() > 1e6);
+        let budgeted = planner.try_plan_ir(&ir).unwrap();
+
+        let fps = |plan: &QueryPlan, c: Configuration| {
+            plan.profiles
+                .iter()
+                .find(|p| p.config == c)
+                .expect("profiled config")
+                .throughput_fps
+        };
+        let max_fps = budgeted
+            .profiles
+            .iter()
+            .map(|p| p.throughput_fps)
+            .fold(0.0, f64::max);
+        assert_eq!(fps(&budgeted, budgeted.sliding_config), max_fps);
+        assert!(
+            fps(&budgeted, budgeted.sliding_config) >= fps(&unbudgeted, unbudgeted.sliding_config)
+        );
     }
 
     #[test]

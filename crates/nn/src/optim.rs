@@ -1,7 +1,7 @@
 //! First-order optimizers: SGD with momentum, and Adam.
 //!
 //! Zeus fine-tunes the APFG and trains the DQN with Adam (the paper cites
-//! Kingma & Ba [18]); SGD is kept for the small R3dLite experiments and as
+//! Kingma & Ba \[18\]); SGD is kept for the small R3dLite experiments and as
 //! a simpler baseline in tests.
 
 use crate::param::Param;

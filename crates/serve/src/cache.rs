@@ -192,7 +192,7 @@ mod tests {
 
     fn key(target_pct: u32) -> CacheKey {
         CacheKey::new(
-            &ActionQuery::new(ActionClass::LeftTurn, target_pct as f64 / 100.0),
+            &ActionQuery::new(ActionClass::LeftTurn, target_pct as f64 / 100.0).unwrap(),
             CorpusId::new(DatasetKind::Bdd100k, 0.1, 7),
             ExecutorKind::ZeusSliding,
         )
@@ -247,12 +247,12 @@ mod tests {
         // still distinguish 0.846 from 0.854 (both round to 85%).
         let corpus = CorpusId::new(DatasetKind::Bdd100k, 0.1, 7);
         let a = CacheKey::new(
-            &ActionQuery::new(ActionClass::LeftTurn, 0.846),
+            &ActionQuery::new(ActionClass::LeftTurn, 0.846).unwrap(),
             corpus,
             ExecutorKind::ZeusSliding,
         );
         let b = CacheKey::new(
-            &ActionQuery::new(ActionClass::LeftTurn, 0.854),
+            &ActionQuery::new(ActionClass::LeftTurn, 0.854).unwrap(),
             corpus,
             ExecutorKind::ZeusSliding,
         );

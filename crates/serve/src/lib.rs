@@ -60,6 +60,7 @@ pub mod cache;
 pub mod metrics;
 pub mod plans;
 pub mod pool;
+pub mod refine;
 pub mod request;
 pub mod server;
 pub mod workload;
@@ -68,6 +69,7 @@ pub use admission::{AdmissionQueue, AdmitError};
 pub use cache::{CacheKey, CachedExecution, CorpusId, ResultCache};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use plans::PlanStore;
+pub use refine::{compute_exclude_spans, ExcludeSpans, QueryRefiner, SegmentHit};
 pub use request::{Priority, QueryId, QueryOutcome, ResponseEvent, ResponseStream};
-pub use server::{ServeConfig, ZeusServer};
+pub use server::{priority_for_budget, servable, ServeConfig, ServeError, ZeusServer};
 pub use workload::{run_closed_loop, run_open_loop, WorkloadReport, WorkloadSpec};

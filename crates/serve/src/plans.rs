@@ -142,7 +142,7 @@ mod tests {
         options.candidates.truncate(1);
         let seed = options.seed;
         let planner = QueryPlanner::new(&ds, options);
-        let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85));
+        let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap());
         (plan, seed)
     }
 

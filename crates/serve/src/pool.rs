@@ -369,6 +369,9 @@ fn finalize(shared: &PoolShared, task: &Arc<ActiveQuery>) {
             priority: sub.priority,
             executor: task.executor,
             result: result.clone(),
+            // Filled in at delivery by `ResponseStream` (refined per the
+            // submission's IR, or the canonical full answer).
+            answer: Vec::new(),
             labels: exec.labels.clone(),
             from_cache: sub.coalesced,
             latency,

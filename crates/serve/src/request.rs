@@ -14,6 +14,8 @@ use zeus_core::result::QueryResult;
 use zeus_core::ExecutorKind;
 use zeus_video::VideoId;
 
+use crate::refine::{answer_from_labels, QueryRefiner, SegmentHit};
+
 /// Server-assigned query identifier (monotonic per server).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct QueryId(pub u64);
@@ -97,24 +99,60 @@ pub struct QueryOutcome {
     /// scheduling.
     pub result: QueryResult,
     /// Per-frame predictions per video, sorted by video id (byte-exact
-    /// comparison target for the serial-equivalence property).
+    /// comparison target for the serial-equivalence property; always the
+    /// *unrefined* execution, independent of extended-ZQL clauses).
     pub labels: Vec<(VideoId, Vec<bool>)>,
+    /// The answer set the query returns: predicted segments after any
+    /// extended-ZQL refinement (`WINDOW`/`AND NOT`/`ORDER BY`/`LIMIT`).
+    /// Populated at delivery for `submit_ir` submissions (a classic IR
+    /// gets every predicted run in canonical order); left empty for
+    /// plain `submit` outcomes, whose callers read `labels`/`result` —
+    /// use [`QueryOutcome::answer_set`] to derive it on demand.
+    pub answer: Vec<SegmentHit>,
     /// Whether the outcome was answered from the result cache.
     pub from_cache: bool,
     /// Wall-clock latency from submission to completion.
     pub latency: Duration,
 }
 
+impl QueryOutcome {
+    /// The canonical (unrefined) answer set, derived from `labels` —
+    /// what `answer` holds for a classic `submit_ir` submission.
+    pub fn answer_set(&self) -> Vec<SegmentHit> {
+        answer_from_labels(&self.labels)
+    }
+}
+
 /// Receiving half of a query's typed response channel.
+///
+/// When the submission carried extended-ZQL clauses, the stream holds the
+/// compiled [`QueryRefiner`] and applies it on delivery: `Video` events
+/// are filtered (window + class exclusions) and the final outcome's
+/// [`QueryOutcome::answer`] is recomputed (filter + order + limit). The
+/// raw `labels` pass through untouched — the cached execution and the
+/// serial-equivalence contract are refinement-independent.
 #[derive(Debug)]
 pub struct ResponseStream {
     id: QueryId,
     rx: mpsc::Receiver<ResponseEvent>,
+    refiner: Option<QueryRefiner>,
 }
 
 impl ResponseStream {
     pub(crate) fn new(id: QueryId, rx: mpsc::Receiver<ResponseEvent>) -> Self {
-        ResponseStream { id, rx }
+        ResponseStream {
+            id,
+            rx,
+            refiner: None,
+        }
+    }
+
+    /// Attach an answer-set refiner (extended-ZQL submissions). An
+    /// identity refiner still marks the stream as IR-submitted, so its
+    /// outcomes carry the canonical answer set.
+    pub(crate) fn with_refiner(mut self, refiner: QueryRefiner) -> Self {
+        self.refiner = Some(refiner);
+        self
     }
 
     /// The query this stream answers.
@@ -122,10 +160,37 @@ impl ResponseStream {
         self.id
     }
 
+    fn apply(&self, event: ResponseEvent) -> ResponseEvent {
+        match event {
+            ResponseEvent::Video {
+                video,
+                segments,
+                device,
+            } => ResponseEvent::Video {
+                video,
+                segments: match &self.refiner {
+                    Some(refiner) => refiner.refine_segments(video, segments),
+                    None => segments,
+                },
+                device,
+            },
+            // The answer set is computed at delivery, and only for IR
+            // submissions (plain `submit` callers read labels/result and
+            // should not pay a corpus-sized scan they never use — they
+            // can call [`QueryOutcome::answer_set`] on demand).
+            ResponseEvent::Done(mut outcome) => {
+                if let Some(refiner) = &self.refiner {
+                    outcome.answer = refiner.answer(&outcome.labels);
+                }
+                ResponseEvent::Done(outcome)
+            }
+        }
+    }
+
     /// Block for the next event; `None` once the stream is exhausted
     /// (after [`ResponseEvent::Done`]).
     pub fn recv(&self) -> Option<ResponseEvent> {
-        self.rx.recv().ok()
+        self.rx.recv().ok().map(|e| self.apply(e))
     }
 
     /// Drain the stream to completion and return the final outcome.
@@ -135,7 +200,12 @@ impl ResponseStream {
     pub fn wait(self) -> QueryOutcome {
         loop {
             match self.rx.recv() {
-                Ok(ResponseEvent::Done(outcome)) => return outcome,
+                Ok(ResponseEvent::Done(outcome)) => {
+                    return match self.apply(ResponseEvent::Done(outcome)) {
+                        ResponseEvent::Done(outcome) => outcome,
+                        ResponseEvent::Video { .. } => unreachable!("apply preserves variants"),
+                    }
+                }
                 Ok(ResponseEvent::Video { .. }) => continue,
                 Err(_) => panic!("server dropped response stream for {}", self.id),
             }
@@ -168,7 +238,7 @@ mod tests {
         .unwrap();
         tx.send(ResponseEvent::Done(QueryOutcome {
             id: QueryId(7),
-            query: ActionQuery::new(zeus_video::ActionClass::LeftTurn, 0.8),
+            query: ActionQuery::new(zeus_video::ActionClass::LeftTurn, 0.8).unwrap(),
             priority: Priority::Standard,
             executor: ExecutorKind::ZeusSliding,
             result: QueryResult {
@@ -182,6 +252,7 @@ mod tests {
                 histogram: zeus_core::result::ConfigHistogram::new(),
             },
             labels: vec![],
+            answer: vec![],
             from_cache: false,
             latency: Duration::from_millis(3),
         }))

@@ -7,6 +7,7 @@
 //! execution, or rejects it (queue full / no stored plan / shutting
 //! down) — and hands back a typed [`ResponseStream`].
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
@@ -22,12 +23,42 @@ use zeus_video::annotation::runs_from_labels;
 use zeus_video::video::Split;
 use zeus_video::SyntheticDataset;
 
+use zeus_core::query::QueryIr;
+
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::cache::{CacheKey, CorpusId, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::plans::PlanStore;
 use crate::pool::{worker_loop, ActiveQuery, PoolShared, Subscriber};
+use crate::refine::{compute_exclude_spans, ExcludeSpans, QueryRefiner};
 use crate::request::{Priority, QueryId, QueryOutcome, ResponseEvent, ResponseStream};
+
+/// Why a server could not be started: every `assert!` that used to guard
+/// [`ZeusServer::start`] is a typed variant here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A tuning knob is unusable (zero workers, zero queue/cache
+    /// capacity, ...).
+    InvalidConfig(String),
+    /// The corpus test split holds no videos at this scale.
+    EmptyCorpus,
+    /// The configured executor cannot be rebuilt from a stored plan.
+    NotServable(ExecutorKind),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidConfig(s) => write!(f, "invalid serve config: {s}"),
+            ServeError::EmptyCorpus => write!(f, "corpus test split is empty"),
+            ServeError::NotServable(kind) => {
+                write!(f, "executor {kind} cannot be rebuilt from a stored plan")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -68,6 +99,9 @@ pub struct ZeusServer {
     cost: CostModel,
     next_id: AtomicU64,
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Exclude-span maps per distinct `AND NOT` class set: the corpus
+    /// scan is paid once per set, not once per submission.
+    exclude_spans: Mutex<HashMap<Vec<u8>, Arc<ExcludeSpans>>>,
 }
 
 impl ZeusServer {
@@ -75,20 +109,32 @@ impl ZeusServer {
     /// each owning one device from a [`DevicePool`].
     ///
     /// `corpus_id` must identify how `dataset` was generated (it keys the
-    /// result cache). Panics if the test split is empty or the configured
-    /// executor is not servable.
+    /// result cache). `plans` may be passed by value or pre-shared as an
+    /// `Arc` (the `zeus-api` session layer shares its store with the
+    /// server it spawns). Returns a typed [`ServeError`] instead of
+    /// panicking on an unusable configuration or an empty corpus.
     pub fn start(
         dataset: &SyntheticDataset,
         corpus_id: CorpusId,
-        plans: PlanStore,
+        plans: impl Into<Arc<PlanStore>>,
         config: ServeConfig,
-    ) -> ZeusServer {
-        assert!(config.workers > 0, "need at least one worker");
-        assert!(
-            servable(config.executor),
-            "executor {} cannot be rebuilt from a stored plan",
-            config.executor
-        );
+    ) -> Result<ZeusServer, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::InvalidConfig("need at least one worker".into()));
+        }
+        if config.queue_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue capacity must be positive".into(),
+            ));
+        }
+        if config.cache_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "cache capacity must be positive".into(),
+            ));
+        }
+        if !servable(config.executor) {
+            return Err(ServeError::NotServable(config.executor));
+        }
         let mut videos: Vec<_> = dataset
             .store
             .split(Split::Test)
@@ -96,7 +142,9 @@ impl ZeusServer {
             .cloned()
             .collect();
         videos.sort_by_key(|v| v.id);
-        assert!(!videos.is_empty(), "corpus test split is empty");
+        if videos.is_empty() {
+            return Err(ServeError::EmptyCorpus);
+        }
 
         let pool = DevicePool::homogeneous(config.workers, config.device.clone());
         let shared = Arc::new(PoolShared {
@@ -118,15 +166,16 @@ impl ZeusServer {
             })
             .collect();
         let cost = CostModel::new(config.device.clone());
-        ZeusServer {
+        Ok(ZeusServer {
             shared,
-            plans: Arc::new(plans),
+            plans: plans.into(),
             config,
             corpus: corpus_id,
             cost,
             next_id: AtomicU64::new(0),
             handles: Mutex::new(handles),
-        }
+            exclude_spans: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The plan store (for warming plans ahead of traffic).
@@ -146,6 +195,60 @@ impl ZeusServer {
         priority: Priority,
     ) -> Result<ResponseStream, AdmitError> {
         self.submit_with(query, priority, self.config.executor)
+    }
+
+    /// Submit an extended-ZQL query ([`QueryIr`]).
+    ///
+    /// The classic core (`ir.base`) drives plan resolution, execution,
+    /// caching, and coalescing — a hundred differently-refined views of
+    /// one query cost one execution. The extended clauses act here:
+    ///
+    /// * `latency_budget` selects the admission priority when the caller
+    ///   passes `None` (see [`priority_for_budget`]): tight budgets ride
+    ///   the interactive class.
+    /// * `WINDOW` / `AND NOT` filter streamed per-video segments; with
+    ///   `ORDER BY` / `LIMIT` they shape the final
+    ///   [`QueryOutcome::answer`].
+    pub fn submit_ir(
+        &self,
+        ir: &QueryIr,
+        priority: Option<Priority>,
+    ) -> Result<ResponseStream, AdmitError> {
+        let priority = priority.unwrap_or_else(|| priority_for_budget(ir.latency_budget_ms));
+        let stream = self.submit_with(ir.base.clone(), priority, self.config.executor)?;
+        // Resolve the exclude-span map from the per-set cache so the
+        // admission path never re-scans the corpus for a repeated
+        // `AND NOT` set.
+        let spans = if ir.exclude.is_empty() {
+            Arc::default()
+        } else {
+            let mut key: Vec<u8> = ir
+                .exclude
+                .iter()
+                .map(|c| {
+                    zeus_video::ActionClass::ALL
+                        .iter()
+                        .position(|x| x == c)
+                        .expect("class in ALL") as u8
+                })
+                .collect();
+            key.sort_unstable();
+            key.dedup();
+            let cached = self.exclude_spans.lock().unwrap().get(&key).cloned();
+            match cached {
+                Some(spans) => spans,
+                None => {
+                    // Scan outside the lock (corpus-proportional work must
+                    // not stall concurrent admissions); double-checked
+                    // insert keeps one copy if two submissions race.
+                    let computed =
+                        Arc::new(compute_exclude_spans(&ir.exclude, &self.shared.videos));
+                    let mut cache = self.exclude_spans.lock().unwrap();
+                    Arc::clone(cache.entry(key).or_insert(computed))
+                }
+            }
+        };
+        Ok(stream.with_refiner(QueryRefiner::with_exclude_spans(ir, spans)))
     }
 
     /// Submit a query for execution by `executor`.
@@ -309,6 +412,8 @@ impl ZeusServer {
             priority: subscriber.priority,
             executor,
             result: cached.result.clone(),
+            // Filled in at delivery by `ResponseStream`.
+            answer: Vec::new(),
             labels: cached.labels.clone(),
             from_cache: true,
             latency,
@@ -352,4 +457,16 @@ impl Drop for ZeusServer {
 /// Can `executor` be rebuilt from a [`zeus_core::catalog::StoredPlan`]?
 pub fn servable(executor: ExecutorKind) -> bool {
     matches!(executor, ExecutorKind::ZeusRl | ExecutorKind::ZeusSliding)
+}
+
+/// Map a ZQL `latency_budget` to an admission priority class: tight
+/// budgets (≤ 250 ms) are interactive, moderate ones (≤ 1 s) standard,
+/// loose or absent budgets batch/standard.
+pub fn priority_for_budget(budget_ms: Option<f64>) -> Priority {
+    match budget_ms {
+        Some(ms) if ms <= 250.0 => Priority::Interactive,
+        Some(ms) if ms <= 1_000.0 => Priority::Standard,
+        Some(_) => Priority::Batch,
+        None => Priority::Standard,
+    }
 }

@@ -46,7 +46,7 @@ fn fixture() -> &'static Fixture {
         options.trainer.warmup = 64;
         options.candidates.truncate(1);
         let planner = QueryPlanner::new(&dataset, options);
-        let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85));
+        let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap());
         let stored = decode_plan(&encode_plan(&plan, SEED)).expect("roundtrip");
         Fixture { dataset, stored }
     })
@@ -68,9 +68,9 @@ fn plan_store(templates: &[ActionQuery]) -> PlanStore {
 
 fn templates() -> Vec<ActionQuery> {
     vec![
-        ActionQuery::new(ActionClass::CrossRight, 0.85),
-        ActionQuery::new(ActionClass::CrossRight, 0.80),
-        ActionQuery::new(ActionClass::CrossRight, 0.75),
+        ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap(),
+        ActionQuery::new(ActionClass::CrossRight, 0.80).unwrap(),
+        ActionQuery::new(ActionClass::CrossRight, 0.75).unwrap(),
     ]
 }
 
@@ -87,6 +87,7 @@ fn start_server(workers: usize, queue: usize, executor: ExecutorKind) -> ZeusSer
             ..ServeConfig::default()
         },
     )
+    .expect("server starts")
 }
 
 /// Submit every query, then wait for all (keeps the queue genuinely
@@ -303,7 +304,7 @@ fn queue_full_sheds_and_reports() {
 #[test]
 fn unplanned_query_is_refused_not_trained() {
     let server = start_server(1, 8, ExecutorKind::ZeusSliding);
-    let unplanned = ActionQuery::new(ActionClass::PoleVault, 0.75);
+    let unplanned = ActionQuery::new(ActionClass::PoleVault, 0.75).unwrap();
     let err = server
         .submit(unplanned, Priority::Interactive)
         .expect_err("no plan installed");

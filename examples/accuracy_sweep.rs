@@ -4,40 +4,42 @@
 //! cargo run --release --example accuracy_sweep
 //! ```
 //!
-//! Plans the same CrossRight query at targets 0.75 / 0.80 / 0.85 and shows
-//! how both Zeus-Sliding and Zeus-RL spend exactly as much accuracy as the
-//! query demands — lower targets buy more throughput (Figure 9 / Table 5).
+//! Runs the same CrossRight query at targets 0.75 / 0.80 / 0.85 through
+//! one [`ZeusSession`] and shows how both Zeus-Sliding and Zeus-RL spend
+//! exactly as much accuracy as the query demands — lower targets buy
+//! more throughput (Figure 9 / Table 5).
 
-use zeus::core::baselines::QueryEngine;
-use zeus::core::planner::{PlannerOptions, QueryPlanner};
-use zeus::core::query::ActionQuery;
-use zeus::video::video::Split;
-use zeus::video::{ActionClass, DatasetKind};
+use zeus::prelude::*;
 
-fn main() {
-    let dataset = DatasetKind::Bdd100k.generate(0.2, 5);
+fn main() -> Result<(), ZeusError> {
+    let session = ZeusSession::builder()
+        .dataset(DatasetKind::Bdd100k)
+        .scale(0.2)
+        .seed(5)
+        .build()?;
     println!(
         "{:>6} | {:>9} {:>9} | {:>9} {:>9} | {:>8}",
         "target", "slide F1", "fps", "RL F1", "fps", "speedup"
     );
     println!("{}", "-".repeat(64));
 
-    for target in [0.75f64, 0.80, 0.85] {
-        let query = ActionQuery::new(ActionClass::CrossRight, target);
-        let planner = QueryPlanner::new(&dataset, PlannerOptions::default());
-        let plan = planner.plan(&query);
-        let engines = planner.build_engines(&plan);
-        let test = dataset.store.split(Split::Test);
-
-        let s = engines.sliding.execute(&test);
-        let r = engines.zeus_rl.execute(&test);
-        let sf = s.evaluate(&test, &query.classes, plan.protocol).f1();
-        let rf = r.evaluate(&test, &query.classes, plan.protocol).f1();
+    for target in [75u32, 80, 85] {
+        let zql = format!(
+            "SELECT segment_ids FROM UDF(video) \
+             WHERE action_class = 'cross-right' AND accuracy >= {target}%"
+        );
+        let s = session
+            .query(&zql)?
+            .executor(ExecutorKind::ZeusSliding)
+            .run()?;
+        let r = session.query(&zql)?.executor(ExecutorKind::ZeusRl).run()?;
         println!(
-            "{target:>6.2} | {sf:>9.3} {:>9.0} | {rf:>9.3} {:>9.0} | {:>7.2}x",
-            s.throughput(),
-            r.throughput(),
-            r.throughput() / s.throughput()
+            "  0.{target} | {:>9.3} {:>9.0} | {:>9.3} {:>9.0} | {:>7.2}x",
+            s.result.f1,
+            s.result.throughput_fps,
+            r.result.f1,
+            r.result.throughput_fps,
+            r.result.throughput_fps / s.result.throughput_fps
         );
     }
     println!(
@@ -45,4 +47,5 @@ fn main() {
          loosens at the top of the range, because the RL agent converts\n\
          every point of excess accuracy into faster configurations."
     );
+    Ok(())
 }

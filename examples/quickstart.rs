@@ -1,76 +1,84 @@
-//! Five-minute tour of the Zeus public API.
+//! Five-minute tour of the Zeus public API: one session, one ZQL
+//! string, one answer set.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Parses a SQL-ish action query, generates a small synthetic driving
-//! corpus, plans the query (profiles configurations, trains the DQN
-//! agent), executes it with the RL executor, and prints the localized
-//! segments.
+//! A [`ZeusSession`] hides the machinery the paper describes (corpus
+//! generation, configuration profiling, DQN training, executor
+//! construction) behind a declarative façade: write the §1 query with an
+//! accuracy target, and the system picks the plan.
 
-use zeus::core::baselines::QueryEngine;
-use zeus::core::planner::{PlannerOptions, QueryPlanner};
-use zeus::core::query::parse_query;
-use zeus::core::ExecutorKind;
-use zeus::video::video::Split;
-use zeus::video::DatasetKind;
+use zeus::prelude::*;
 
-fn main() {
-    // 1. The paper's §1 query, verbatim dialect.
-    let query = parse_query(
-        "SELECT segment_ids FROM UDF(video) \
-         WHERE action_class = 'cross-right' AND accuracy >= 85%",
-    )
-    .expect("valid action query");
-    println!("query: {}", query.to_sql());
-
-    // 2. A small synthetic BDD100K-like corpus (see zeus-video).
-    let dataset = DatasetKind::Bdd100k.generate(0.4, 42);
+fn main() -> Result<(), ZeusError> {
+    // 1. A session bound to a small synthetic BDD100K-like corpus.
+    let session = ZeusSession::builder()
+        .dataset(DatasetKind::Bdd100k)
+        .scale(0.4)
+        .seed(42)
+        .build()?;
     println!(
         "corpus: {} videos, {} frames",
-        dataset.store.len(),
-        dataset.store.total_frames()
+        session.dataset().store.len(),
+        session.dataset().store.total_frames()
     );
 
-    // 3. Plan: profile 64 configurations, pick the static config, train
-    //    the DQN agent with accuracy-aware aggregate rewards.
-    let planner = QueryPlanner::new(&dataset, PlannerOptions::default());
-    let plan = planner.plan(&query);
+    // 2. The paper's §1 query in extended ZQL: rank the localized
+    //    segments by confidence and keep the ten best.
+    let query = session.query(
+        "SELECT segment_ids FROM UDF(video) \
+         WHERE action_class = 'cross-right' AND accuracy >= 85% \
+         ORDER BY confidence LIMIT 10",
+    )?;
+    println!("query: {}", query.to_sql());
+
+    // 3. Run it. The session profiles 64 configurations, trains the DQN
+    //    agent, and executes with the RL engine — all behind `run()`.
+    let response = query.run()?;
     println!(
-        "planned: {} Pareto configs, sliding config {}, max accuracy {:.2}",
-        plan.space.len(),
-        plan.sliding_config,
-        plan.max_accuracy
+        "\n{}: F1 {:.3} (P {:.2} / R {:.2}) at {:.0} fps",
+        response.result.method,
+        response.result.f1,
+        response.result.precision,
+        response.result.recall,
+        response.result.throughput_fps,
     );
 
-    // 4. Execute with the RL executor on the test split.
-    let engines = planner.build_engines(&plan);
-    let test = dataset.store.split(Split::Test);
-    let exec = engines.zeus_rl.execute(&test);
-    let report = exec.evaluate(&test, &query.classes, plan.protocol);
+    // 4. The query's answer: the refined, ranked segment set.
+    println!("\nlocalized segments (video, start..end, confidence):");
+    for hit in &response.answer {
+        println!(
+            "  {:?}  {:>6}..{:<6}  conf {:.3}",
+            hit.video, hit.start, hit.end, hit.confidence
+        );
+    }
 
-    println!(
-        "\n{}: F1 {:.3} (P {:.2} / R {:.2}) at {:.0} fps over {} frames",
-        ExecutorKind::ZeusRl,
-        report.f1(),
-        report.precision(),
-        report.recall(),
-        exec.throughput(),
-        exec.total_frames()
-    );
-
-    // 5. The query's answer: localized segments.
+    // 5. The same query, streamed: videos execute lazily as the
+    //    iterator advances, and the LIMIT short-circuits the corpus.
+    println!("\nstreaming (first three videos with hits):");
     let mut shown = 0;
-    println!("\nlocalized segments (video, start..end):");
-    for (video, segments) in exec.output_segments() {
-        for (s, e) in segments {
-            println!("  {:?}  {s:>6}..{e:<6}", video);
-            shown += 1;
-            if shown >= 10 {
-                println!("  ...");
-                return;
-            }
+    for video in session
+        .query(
+            "SELECT segment_ids FROM UDF(video) \
+             WHERE action_class = 'cross-right' AND accuracy >= 85% LIMIT 10",
+        )?
+        .run_streaming()?
+    {
+        if video.segments.is_empty() {
+            continue;
+        }
+        println!(
+            "  {:?}: {} segment(s) in {:.2} simulated s",
+            video.video,
+            video.segments.len(),
+            video.simulated_secs
+        );
+        shown += 1;
+        if shown >= 3 {
+            break;
         }
     }
+    Ok(())
 }

@@ -1,64 +1,60 @@
-//! Walkthrough of the `zeus-serve` serving layer: plan once, serve many.
+//! Walkthrough of the `zeus-serve` serving layer through the session
+//! façade: plan once, serve many.
 //!
 //! ```text
 //! cargo run --release --example serving
 //! ```
 //!
-//! The flow below mirrors a production deployment: an offline planning
-//! step trains and installs query plans, a server is started over a
-//! corpus and a pool of simulated devices, clients submit SQL-ish action
-//! queries at different priorities, and results stream back per video.
+//! The flow mirrors a production deployment: a [`ZeusSession`] plans the
+//! queries it intends to serve (offline, one-time cost), then starts a
+//! server sharing the session's plan store. Clients submit extended-ZQL
+//! queries — `latency_budget` picks their admission priority, `WINDOW`
+//! and `LIMIT` shape the streamed answer — and results stream back per
+//! video.
 
-use zeus::core::query::parse_query;
 use zeus::prelude::*;
 use zeus::serve::ResponseEvent;
 
-fn main() {
+fn main() -> Result<(), ZeusError> {
     // A small BDD100K corpus; scale 0.2 keeps the example under a
     // minute including planning.
-    let (scale, seed) = (0.2, 33u64);
-    let dataset = DatasetKind::Bdd100k.generate(scale, seed);
-
-    // --- Offline: plan the queries we intend to serve. -----------------
-    let sql = "SELECT segment_ids FROM UDF(video) \
-               WHERE action_class = 'cross-right' AND accuracy >= 85%";
-    let query = parse_query(sql).expect("valid query");
-
-    let mut options = PlannerOptions {
-        seed,
-        ..PlannerOptions::default()
-    };
+    let mut options = PlannerOptions::default();
     options.trainer.episodes = 2; // example-sized training
     options.trainer.warmup = 64;
     options.candidates.truncate(1);
 
-    println!("planning `{sql}` (one-time cost, amortized by the catalog)...");
-    let planner = QueryPlanner::new(&dataset, options);
-    let plan = planner.plan(&query);
+    let session = ZeusSession::builder()
+        .dataset(DatasetKind::Bdd100k)
+        .scale(0.2)
+        .seed(33)
+        .planner(options)
+        // The example trains a deliberately tiny RL policy, so serve the
+        // statically-planned engine; use `ZeusRl` after a full plan run.
+        .executor(ExecutorKind::ZeusSliding)
+        .build()?;
 
-    let plans = PlanStore::in_memory();
-    plans.install(&plan, seed).expect("install plan");
+    // --- Offline: plan the query we intend to serve. --------------------
+    let sql = "SELECT segment_ids FROM UDF(video) \
+               WHERE action_class = 'cross-right' AND accuracy >= 85%";
+    println!("planning `{sql}` (one-time cost, amortized by the plan store)...");
+    let query = session.query(sql)?;
+    query.plan()?;
 
-    // --- Online: start the server and submit concurrent queries. -------
-    let server = ZeusServer::start(
-        &dataset,
-        CorpusId::new(DatasetKind::Bdd100k, scale, seed),
-        plans,
-        ServeConfig {
-            workers: 4,
-            // The example trains a deliberately tiny RL policy, so serve
-            // the statically-planned engine; swap in `ZeusRl` after a
-            // full `zeus plan` run.
-            executor: ExecutorKind::ZeusSliding,
-            ..ServeConfig::default()
-        },
-    );
+    // --- Online: start the server over the session's plan store. --------
+    let server = session.serve(ServeConfig {
+        workers: 4,
+        executor: ExecutorKind::ZeusSliding,
+        ..ServeConfig::default()
+    })?;
 
-    // An interactive client streams per-video results as devices finish.
+    // An interactive client submits the extended form: a tight latency
+    // budget routes it to the interactive admission class, and the WINDOW
+    // clause masks segments outside the first 600 frames of each video.
+    let extended = session.query(&format!(
+        "{sql} AND latency_budget <= 100ms WINDOW [0, 600]"
+    ))?;
     println!("\ninteractive query, streamed results:");
-    let stream = server
-        .submit(query.clone(), Priority::Interactive)
-        .expect("admitted");
+    let stream = server.submit_ir(extended.ir(), None)?;
     while let Some(event) = stream.recv() {
         match event {
             ResponseEvent::Video {
@@ -66,17 +62,22 @@ fn main() {
                 segments,
                 device,
             } => {
-                println!(
-                    "  {video:?} -> {} segment(s) on device {device:?}",
-                    segments.len()
-                );
+                if !segments.is_empty() {
+                    println!(
+                        "  {video:?} -> {} segment(s) on device {device:?}",
+                        segments.len()
+                    );
+                }
             }
             ResponseEvent::Done(outcome) => {
                 println!(
-                    "  done: F1 {:.3} at {:.0} simulated fps, latency {:.2} ms",
+                    "  done ({} priority): F1 {:.3} at {:.0} simulated fps, \
+                     latency {:.2} ms, {} windowed segment(s)",
+                    outcome.priority,
                     outcome.result.f1,
                     outcome.result.throughput_fps,
-                    outcome.latency.as_secs_f64() * 1e3
+                    outcome.latency.as_secs_f64() * 1e3,
+                    outcome.answer.len(),
                 );
                 break;
             }
@@ -84,22 +85,30 @@ fn main() {
     }
 
     // A burst of repeat queries: the first execution populated the LRU
-    // result cache, so these are answered without touching a device.
-    println!("\nburst of 32 repeat queries:");
+    // result cache, so these are answered without touching a device —
+    // including differently-refined views of the same core query.
+    println!("\nburst of 32 repeat queries (mixed refinements):");
     let outcomes: Vec<_> = (0..32)
         .map(|i| {
-            let priority = Priority::ALL[i % 3];
+            let zql = match i % 3 {
+                0 => sql.to_string(),
+                1 => format!("{sql} LIMIT 3"),
+                _ => format!("{sql} ORDER BY confidence LIMIT 1"),
+            };
+            let query = session.query(&zql).expect("valid template");
             server
-                .submit(query.clone(), priority)
+                .submit_ir(query.ir(), Some(Priority::ALL[i % 3]))
                 .expect("admitted")
                 .wait()
         })
         .collect();
     let cached = outcomes.iter().filter(|o| o.from_cache).count();
-    println!("  {cached}/32 served from cache");
+    let limited = outcomes.iter().filter(|o| o.answer.len() <= 3).count();
+    println!("  {cached}/32 served from cache; {limited}/32 refined by LIMIT");
 
     let metrics = server.metrics();
     println!("\nserving telemetry:\n{metrics}");
 
     server.shutdown();
+    Ok(())
 }

@@ -8,72 +8,71 @@
 //! Dense-action corpora (40% of frames are actions) stress a different
 //! regime than dash-cam footage: the agent must exploit the *long* action
 //! durations with long, coarsely-sampled segments instead of sprinting
-//! through empty video. This example also demonstrates the inter-video
-//! parallel executor extension (§6.4).
+//! through empty video. The highlight reel uses the extended dialect —
+//! `ORDER BY confidence LIMIT 8` returns the eight most confident vaults.
+//! The tail of the example demonstrates the inter-video parallel executor
+//! extension (§6.4) via the session's plan.
 
-use zeus::core::baselines::QueryEngine;
 use zeus::core::parallel::execute_parallel;
-use zeus::core::planner::{PlannerOptions, QueryPlanner};
-use zeus::core::query::ActionQuery;
+use zeus::prelude::*;
 use zeus::video::video::Split;
-use zeus::video::{ActionClass, DatasetKind};
 
-fn main() {
-    let dataset = DatasetKind::Thumos14.generate(0.1, 11);
-    let query = ActionQuery::new(ActionClass::PoleVault, 0.75);
+fn main() -> Result<(), ZeusError> {
+    let session = ZeusSession::builder()
+        .dataset(DatasetKind::Thumos14)
+        .scale(0.1)
+        .seed(11)
+        .build()?;
+    let zql = "SELECT segment_ids FROM UDF(video) \
+               WHERE action_class = 'pole-vault' AND accuracy >= 75%";
     println!(
         "Thumos14-like corpus: {} videos / {} frames; query: {}",
-        dataset.store.len(),
-        dataset.store.total_frames(),
-        query.to_sql()
+        session.dataset().store.len(),
+        session.dataset().store.total_frames(),
+        session.query(zql)?.to_sql()
     );
 
-    let planner = QueryPlanner::new(&dataset, PlannerOptions::default());
-    let plan = planner.plan(&query);
-    println!(
-        "sliding config {}; RL action space {} configurations",
-        plan.sliding_config,
-        plan.space.len()
-    );
-
-    let engines = planner.build_engines(&plan);
-    let test = dataset.store.split(Split::Test);
-
-    let sliding = engines.sliding.execute(&test);
-    let rl = engines.zeus_rl.execute(&test);
-    let rs = sliding.evaluate(&test, &query.classes, plan.protocol);
-    let rr = rl.evaluate(&test, &query.classes, plan.protocol);
+    let sliding = session
+        .query(zql)?
+        .executor(ExecutorKind::ZeusSliding)
+        .run()?;
+    let rl = session.query(zql)?.executor(ExecutorKind::ZeusRl).run()?;
     println!(
         "\nZeus-Sliding  F1 {:.3} @ {:>7.0} fps\nZeus-RL       F1 {:.3} @ {:>7.0} fps ({:.1}x faster)",
-        rs.f1(),
-        sliding.throughput(),
-        rr.f1(),
-        rl.throughput(),
-        rl.throughput() / sliding.throughput()
+        sliding.result.f1,
+        sliding.result.throughput_fps,
+        rl.result.f1,
+        rl.result.throughput_fps,
+        rl.result.throughput_fps / sliding.result.throughput_fps
     );
 
-    // Highlight reel: the detected pole-vault segments with timestamps.
-    println!("\nhighlights (video, mm:ss.s - mm:ss.s):");
+    // Highlight reel: the eight most confident pole-vault segments.
+    let reel = session
+        .query(&format!("{zql} ORDER BY confidence LIMIT 8"))?
+        .run()?;
+    println!("\nhighlights (video, mm:ss.s - mm:ss.s, confidence):");
     let fps = 30.0;
-    let mut shown = 0;
-    for (id, segments) in rl.output_segments() {
-        for (s, e) in segments {
-            let ts = |f: usize| {
-                let secs = f as f64 / fps;
-                format!("{:02}:{:04.1}", (secs / 60.0) as u32, secs % 60.0)
-            };
-            println!("  {:?}  {} - {}", id, ts(s), ts(e));
-            shown += 1;
-            if shown >= 8 {
-                break;
-            }
-        }
-        if shown >= 8 {
-            break;
-        }
+    let ts = |f: usize| {
+        let secs = f as f64 / fps;
+        format!("{:02}:{:04.1}", (secs / 60.0) as u32, secs % 60.0)
+    };
+    for hit in &reel.answer {
+        println!(
+            "  {:?}  {} - {}  conf {:.3}",
+            hit.video,
+            ts(hit.start),
+            ts(hit.end),
+            hit.confidence
+        );
     }
 
-    // §6.4 extension: batch across videos onto multiple simulated devices.
+    // §6.4 extension: batch across videos onto multiple simulated
+    // devices, reusing the session's trained plan (the full plan — the
+    // engine set needs its profile table).
+    let plan = session.query(zql)?.train()?;
+    let planner = QueryPlanner::new(session.dataset(), PlannerOptions::default());
+    let engines = planner.build_engines(&plan);
+    let test = session.dataset().store.split(Split::Test);
     println!("\ninter-video parallelism (§6.4):");
     for workers in [1usize, 2, 4] {
         let par = execute_parallel(&engines.zeus_rl, &test, workers);
@@ -83,4 +82,5 @@ fn main() {
             par.speedup()
         );
     }
+    Ok(())
 }

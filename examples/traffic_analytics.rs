@@ -6,56 +6,42 @@
 //!
 //! A traffic analyst wants every pedestrian left-to-right crossing and
 //! every left turn from a dash-cam corpus, at 85% accuracy, as fast as
-//! possible. This example plans both queries and compares all five
-//! §6.1 techniques head-to-head, reproducing the Figure 8 layout for
-//! BDD100K.
+//! possible. One [`ZeusSession`] runs both queries with all five §6.1
+//! techniques head-to-head, reproducing the Figure 8 layout for BDD100K.
 
-use zeus::core::baselines::QueryEngine;
-use zeus::core::planner::{PlannerOptions, QueryPlanner};
-use zeus::core::query::ActionQuery;
-use zeus::video::video::Split;
-use zeus::video::{ActionClass, DatasetKind};
+use zeus::prelude::*;
 
-fn main() {
-    let dataset = DatasetKind::Bdd100k.generate(0.2, 7);
+fn main() -> Result<(), ZeusError> {
+    let session = ZeusSession::builder()
+        .dataset(DatasetKind::Bdd100k)
+        .scale(0.2)
+        .seed(7)
+        .build()?;
     println!(
         "BDD100K-like corpus: {} videos / {} frames\n",
-        dataset.store.len(),
-        dataset.store.total_frames()
+        session.dataset().store.len(),
+        session.dataset().store.total_frames()
     );
 
-    for class in [ActionClass::CrossRight, ActionClass::LeftTurn] {
-        let query = ActionQuery::new(class, 0.85);
-        println!(
-            "=== {} (target {:.0}%) ===",
-            class,
-            query.target_accuracy * 100.0
+    for class in ["cross-right", "left-turn"] {
+        let zql = format!(
+            "SELECT segment_ids FROM UDF(video) \
+             WHERE action_class = '{class}' AND accuracy >= 85%"
         );
-
-        let planner = QueryPlanner::new(&dataset, PlannerOptions::default());
-        let plan = planner.plan(&query);
-        let engines = planner.build_engines(&plan);
-        let test = dataset.store.split(Split::Test);
-
-        let runs: Vec<(&str, zeus::core::ExecutionResult)> = vec![
-            ("Frame-PP", engines.frame_pp.execute(&test)),
-            ("Segment-PP", engines.segment_pp.execute(&test)),
-            ("Zeus-Sliding", engines.sliding.execute(&test)),
-            ("Zeus-Heuristic", engines.heuristic.execute(&test)),
-            ("Zeus-RL", engines.zeus_rl.execute(&test)),
-        ];
+        println!("=== {class} (target 85%) ===");
         println!(
             "{:<15} {:>6} {:>6} {:>6} {:>9}",
             "method", "F1", "P", "R", "fps"
         );
-        for (name, exec) in runs {
-            let r = exec.evaluate(&test, &query.classes, plan.protocol);
+        for executor in ExecutorKind::ALL {
+            let r = session.query(&zql)?.executor(executor).run()?;
             println!(
-                "{name:<15} {:>6.3} {:>6.2} {:>6.2} {:>9.0}",
-                r.f1(),
-                r.precision(),
-                r.recall(),
-                exec.throughput()
+                "{:<15} {:>6.3} {:>6.2} {:>6.2} {:>9.0}",
+                r.result.method,
+                r.result.f1,
+                r.result.precision,
+                r.result.recall,
+                r.result.throughput_fps
             );
         }
         println!();
@@ -66,4 +52,5 @@ fn main() {
          AND inaccurate on these temporal classes (motion direction is\n\
          invisible in single frames)."
     );
+    Ok(())
 }

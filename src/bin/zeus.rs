@@ -10,35 +10,33 @@
 //! zeus serve-bench --dataset bdd100k [--workers 4] [--queries 120] \
 //!            [--mode open|closed] [--rate 40] [--concurrency 8] \
 //!            [--queue 64] [--method zeus-rl] [--catalog ./plans]
+//! zeus bench --json [--out BENCH_serving.json] [--workers 4] \
+//!            [--queries 96] [--scale 0.05] [--seed 2022]
 //! ```
 //!
-//! `plan` trains and stores a plan in the catalog; `query` executes (loading
-//! the stored plan when present, planning on the fly otherwise) and prints
-//! the localized segments plus accuracy/throughput. `serve-bench` stands up
-//! the `zeus-serve` engine — a bounded admission queue in front of a
-//! work-stealing pool of simulated devices with an LRU result cache — and
-//! drives an open-loop (Poisson) or closed-loop workload through it,
-//! reporting tail latency, throughput, shed rate, and cache hit rate, then
-//! verifying concurrent results against serial execution.
+//! Every command goes through the [`ZeusSession`] façade: `plan` trains
+//! and stores a plan in the session's catalog; `query` executes extended
+//! ZQL (`LIMIT`, `WINDOW [t0, t1]`, `latency_budget <= Xms`,
+//! `ORDER BY confidence`, `AND NOT`) and prints the refined answer set;
+//! `serve-bench` drives an open- or closed-loop workload through the
+//! `zeus-serve` engine and verifies serial equivalence; `bench --json`
+//! runs the serving benchmark non-interactively and writes machine-
+//! readable tail-latency/throughput numbers (the CI perf artifact).
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
+use zeus::api::{ExecutorKind, ZeusSession};
 use zeus::core::baselines::QueryEngine;
 use zeus::core::catalog::PlanCatalog;
-use zeus::core::planner::{PlannerOptions, QueryPlanner};
-use zeus::core::query::{parse_query, ActionQuery};
-use zeus::core::ExecutorKind;
-use zeus::serve::{
-    run_closed_loop, run_open_loop, CorpusId, PlanStore, ServeConfig, WorkloadSpec, ZeusServer,
-};
-use zeus::sim::CostModel;
+use zeus::core::planner::PlannerOptions;
+use zeus::serve::{run_closed_loop, run_open_loop, ServeConfig, WorkloadSpec};
 use zeus::video::stats::DatasetStats;
 use zeus::video::video::Split;
 use zeus::video::DatasetKind;
 
 fn usage() -> &'static str {
-    "usage:\n  zeus datasets\n  zeus plan  --dataset <name> --sql <query> --catalog <dir> [--scale S] [--seed N]\n  zeus query --dataset <name> --sql <query> [--catalog <dir>] [--method M] [--scale S] [--seed N]\n  zeus serve-bench --dataset <name> [--workers N] [--queries N] [--mode open|closed]\n                   [--rate QPS] [--concurrency N] [--queue N] [--cache N]\n                   [--method M] [--scale S] [--seed N] [--catalog <dir>]\n\ndatasets: bdd100k thumos14 activitynet cityscapes kitti\nmethods:  zeus-rl (default) | zeus-sliding | all (query only)"
+    "usage:\n  zeus datasets\n  zeus plan  --dataset <name> --sql <query> --catalog <dir> [--scale S] [--seed N]\n  zeus query --dataset <name> --sql <query> [--catalog <dir>] [--method M] [--scale S] [--seed N]\n  zeus serve-bench --dataset <name> [--workers N] [--queries N] [--mode open|closed]\n                   [--rate QPS] [--concurrency N] [--queue N] [--cache N]\n                   [--method M] [--scale S] [--seed N] [--catalog <dir>]\n  zeus bench --json [--out FILE] [--workers N] [--queries N] [--scale S] [--seed N]\n\ndatasets: bdd100k thumos14 activitynet cityscapes kitti\nmethods:  zeus-rl (default) | zeus-sliding | all (query only)\n\nZQL: SELECT segment_ids FROM UDF(video) WHERE action_class = 'cross-right'\n     [AND NOT action_class = '...'] AND accuracy >= 85%\n     [AND latency_budget <= 250ms] [WINDOW [t0, t1]]\n     [ORDER BY confidence] [LIMIT n]"
 }
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -48,6 +46,12 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = args[i]
             .strip_prefix("--")
             .ok_or_else(|| format!("expected a --flag, got '{}'", args[i]))?;
+        // Boolean flags (no value) are stored as "true".
+        if key == "json" {
+            flags.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
         let value = args
             .get(i + 1)
             .ok_or_else(|| format!("flag --{key} needs a value"))?;
@@ -82,6 +86,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "plan" => cmd_plan(&parse_flags(&args[1..])?),
         "query" => cmd_query(&parse_flags(&args[1..])?),
         "serve-bench" => cmd_serve_bench(&parse_flags(&args[1..])?),
+        "bench" => cmd_bench(&parse_flags(&args[1..])?),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -113,54 +118,6 @@ fn cmd_datasets() -> Result<(), String> {
     Ok(())
 }
 
-fn parse_common(
-    flags: &HashMap<String, String>,
-) -> Result<(DatasetKind, ActionQuery, f64, u64), String> {
-    let kind = dataset_kind(flags.get("dataset").ok_or("--dataset is required")?)?;
-    let sql = flags.get("sql").ok_or("--sql is required")?;
-    let query = parse_query(sql).map_err(|e| e.to_string())?;
-    let scale: f64 = flags
-        .get("scale")
-        .map(|s| s.parse().map_err(|_| format!("bad --scale '{s}'")))
-        .transpose()?
-        .unwrap_or(0.3);
-    let seed: u64 = flags
-        .get("seed")
-        .map(|s| s.parse().map_err(|_| format!("bad --seed '{s}'")))
-        .transpose()?
-        .unwrap_or(2022);
-    Ok((kind, query, scale, seed))
-}
-
-fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
-    let (kind, query, scale, seed) = parse_common(flags)?;
-    let catalog_dir = flags.get("catalog").ok_or("--catalog is required")?;
-    let catalog = PlanCatalog::open(catalog_dir).map_err(|e| e.to_string())?;
-
-    eprintln!("generating {} corpus at scale {scale}...", kind.name());
-    let dataset = kind.generate(scale, seed);
-    let options = PlannerOptions {
-        seed,
-        ..PlannerOptions::default()
-    };
-    eprintln!("planning (profiling {} configurations + RL training)...", {
-        zeus::core::ConfigSpace::for_dataset(kind).len()
-    });
-    let planner = QueryPlanner::new(&dataset, options);
-    let plan = planner.plan(&query);
-    let path = catalog.save(&plan, seed).map_err(|e| e.to_string())?;
-    println!(
-        "plan saved: {}\n  sliding config {}  max accuracy {:.3}\n  action space: {} configurations\n  simulated training cost: APFG {:.1}s + RL {:.1}s",
-        path.display(),
-        plan.sliding_config,
-        plan.max_accuracy,
-        plan.space.len(),
-        plan.costs.apfg_training_secs,
-        plan.costs.rl_training_secs,
-    );
-    Ok(())
-}
-
 /// Parse an optional numeric flag with a default.
 fn flag_or<T: std::str::FromStr>(
     flags: &HashMap<String, String>,
@@ -173,10 +130,204 @@ fn flag_or<T: std::str::FromStr>(
     }
 }
 
-fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+/// Build a session from the common CLI flags.
+fn session_from_flags(
+    flags: &HashMap<String, String>,
+    default_scale: f64,
+    options: Option<PlannerOptions>,
+) -> Result<ZeusSession, String> {
     let kind = dataset_kind(flags.get("dataset").ok_or("--dataset is required")?)?;
-    let scale: f64 = flag_or(flags, "scale", 0.05)?;
+    let scale: f64 = flag_or(flags, "scale", default_scale)?;
     let seed: u64 = flag_or(flags, "seed", 2022)?;
+    eprintln!("generating {} corpus at scale {scale}...", kind.name());
+    // The builder applies the session seed to the planner options at
+    // build time, so `.planner()` and `.seed()` compose in any order.
+    let mut builder = ZeusSession::builder().dataset(kind).scale(scale).seed(seed);
+    if let Some(options) = options {
+        builder = builder.planner(options);
+    }
+    if let Some(dir) = flags.get("catalog") {
+        builder = builder.catalog(dir.clone());
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    if flags.get("catalog").is_none() {
+        return Err("--catalog is required".into());
+    }
+    let sql = flags.get("sql").ok_or("--sql is required")?;
+    let session = session_from_flags(flags, 0.3, None)?;
+    let query = session.query(sql).map_err(|e| e.to_string())?;
+    if let Some(stored) = session.plans().get(&query.ir().base) {
+        println!(
+            "plan already in catalog: {} (sliding config {}, {} configurations) — reusing",
+            PlanCatalog::key(&stored.query),
+            stored.sliding_config,
+            stored.space_configs.len(),
+        );
+        return Ok(());
+    }
+    eprintln!("planning (profiling configurations + RL training)...");
+    let plan = query.train().map_err(|e| e.to_string())?;
+    println!(
+        "plan saved: {}\n  sliding config {}  max accuracy {:.3}\n  action space: {} configurations\n  simulated training cost: APFG {:.1}s + RL {:.1}s",
+        PlanCatalog::key(&plan.query),
+        plan.sliding_config,
+        plan.max_accuracy,
+        plan.space.len(),
+        plan.costs.apfg_training_secs,
+        plan.costs.rl_training_secs,
+    );
+    Ok(())
+}
+
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let sql = flags.get("sql").ok_or("--sql is required")?;
+    let method = flags.get("method").map(String::as_str).unwrap_or("zeus-rl");
+    let executors: Vec<ExecutorKind> = match method {
+        "zeus-rl" => vec![ExecutorKind::ZeusRl],
+        "zeus-sliding" => vec![ExecutorKind::ZeusSliding],
+        "all" => vec![ExecutorKind::ZeusRl, ExecutorKind::ZeusSliding],
+        other => return Err(format!("unknown --method '{other}'")),
+    };
+    let session = session_from_flags(flags, 0.3, None)?;
+    let query = session.query(sql).map_err(|e| e.to_string())?;
+    println!("{}\n", query.to_sql());
+
+    let mut first_answer = None;
+    for executor in executors {
+        let response = session
+            .query(sql)
+            .map_err(|e| e.to_string())?
+            .executor(executor)
+            .run()
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{}: F1 {:.3} (P {:.2} R {:.2}) at {:.0} fps over {} frames",
+            response.result.method,
+            response.result.f1,
+            response.result.precision,
+            response.result.recall,
+            response.result.throughput_fps,
+            response.result.histogram.total_frames(),
+        );
+        if first_answer.is_none() {
+            first_answer = Some(response.answer);
+        }
+    }
+
+    // The refined answer set from the first method.
+    println!("\nsegments:");
+    let answer = first_answer.unwrap_or_default();
+    if answer.is_empty() {
+        println!("  (none found)");
+        return Ok(());
+    }
+    for hit in answer.iter().take(20) {
+        println!(
+            "  {:?}  {:>7}..{:<7}  conf {:.3}",
+            hit.video, hit.start, hit.end, hit.confidence
+        );
+    }
+    if answer.len() > 20 {
+        println!("  ... ({} more)", answer.len() - 20);
+    }
+    Ok(())
+}
+
+/// Fast planner options for serving workloads (serving never trains on
+/// the request path; templates are planned once up front).
+fn serving_options() -> PlannerOptions {
+    let mut options = PlannerOptions::default();
+    options.trainer.episodes = 2;
+    options.trainer.warmup = 64;
+    options.candidates.truncate(1);
+    options
+}
+
+/// Template ZQL queries for a dataset: both query classes at two targets.
+fn serving_templates(kind: DatasetKind) -> Vec<String> {
+    let [a, b] = kind.query_classes();
+    let target = if matches!(kind, DatasetKind::Bdd100k | DatasetKind::Cityscapes) {
+        85
+    } else {
+        75
+    };
+    [a, b]
+        .into_iter()
+        .flat_map(|class| {
+            [target, target - 5].into_iter().map(move |t| {
+                format!(
+                    "SELECT segment_ids FROM UDF(video) \
+                     WHERE action_class = '{}' AND accuracy >= {t}%",
+                    class.query_name()
+                )
+            })
+        })
+        .collect()
+}
+
+/// Stand up a server over planned templates and drive a workload.
+#[allow(clippy::too_many_arguments)]
+fn run_serving_workload(
+    session: &ZeusSession,
+    executor: ExecutorKind,
+    workers: usize,
+    queue: usize,
+    cache: usize,
+    queries: usize,
+    mode: &str,
+    rate: f64,
+    concurrency: usize,
+) -> Result<
+    (
+        zeus::serve::WorkloadReport,
+        Vec<zeus::core::query::ActionQuery>,
+        zeus::serve::ZeusServer,
+    ),
+    String,
+> {
+    let kind = session.corpus_id().kind;
+    let mut templates = Vec::new();
+    for sql in serving_templates(kind) {
+        let query = session.query(&sql).map_err(|e| e.to_string())?;
+        let key = PlanCatalog::key(&query.ir().base);
+        // `plan()` is store-first: a template already planned (this
+        // session or a prior process via the catalog) is reused as-is.
+        if session.plans().get(&query.ir().base).is_some() {
+            eprintln!("plan reuse: {key}");
+        } else {
+            eprintln!("planning {key} ...");
+        }
+        query.plan().map_err(|e| e.to_string())?;
+        templates.push(query.ir().base.clone());
+    }
+
+    let server = session
+        .serve(ServeConfig {
+            workers,
+            queue_capacity: queue,
+            cache_capacity: cache,
+            executor,
+            ..ServeConfig::default()
+        })
+        .map_err(|e| e.to_string())?;
+    let spec = WorkloadSpec::new(
+        templates.clone(),
+        queries,
+        session.corpus_id().seed ^ 0x5EED,
+    );
+
+    eprintln!("serving {queries} queries ({mode} loop) across {workers} simulated devices...");
+    let report = match mode {
+        "open" => run_open_loop(&server, &spec, rate),
+        _ => run_closed_loop(&server, &spec, concurrency),
+    };
+    Ok((report, templates, server))
+}
+
+fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     let workers: usize = flag_or(flags, "workers", 4)?;
     let queries: usize = flag_or(flags, "queries", 120)?;
     let queue: usize = flag_or(flags, "queue", 64)?;
@@ -195,6 +346,9 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     if queue == 0 || cache == 0 {
         return Err("--queue and --cache must be at least 1".into());
     }
+    if concurrency == 0 {
+        return Err("--concurrency must be at least 1".into());
+    }
     let executor = match method {
         "zeus-rl" => ExecutorKind::ZeusRl,
         "zeus-sliding" => ExecutorKind::ZeusSliding,
@@ -205,69 +359,21 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
         }
     };
 
-    eprintln!("generating {} corpus at scale {scale}...", kind.name());
-    let dataset = kind.generate(scale, seed);
-    let corpus = CorpusId::new(kind, scale, seed);
-
-    // Templates: both of the dataset's query classes at two targets each.
-    let [a, b] = kind.query_classes();
-    let target = if matches!(kind, DatasetKind::Bdd100k | DatasetKind::Cityscapes) {
-        0.85
-    } else {
-        0.75
-    };
-    let templates = vec![
-        ActionQuery::new(a, target),
-        ActionQuery::new(b, target),
-        ActionQuery::new(a, target - 0.05),
-        ActionQuery::new(b, target - 0.05),
-    ];
-
-    // Plan each template (reusing the catalog when one is given) with
-    // fast trainer options; serving itself never trains.
-    let plans = match flags.get("catalog") {
-        Some(dir) => PlanStore::with_catalog(dir).map_err(|e| e.to_string())?,
-        None => PlanStore::in_memory(),
-    };
-    let mut options = PlannerOptions {
-        seed,
-        ..PlannerOptions::default()
-    };
-    options.trainer.episodes = 2;
-    options.trainer.warmup = 64;
-    options.candidates.truncate(1);
-    for query in &templates {
-        if plans.get(query).is_some() {
-            eprintln!("plan reuse: {}", PlanCatalog::key(query));
-            continue;
-        }
-        eprintln!("planning {} ...", PlanCatalog::key(query));
-        let planner = QueryPlanner::new(&dataset, options.clone());
-        let plan = planner.plan(query);
-        plans.install(&plan, seed).map_err(|e| e.to_string())?;
-    }
-
-    let server = ZeusServer::start(
-        &dataset,
-        corpus,
-        plans,
-        ServeConfig {
-            workers,
-            queue_capacity: queue,
-            cache_capacity: cache,
-            executor,
-            ..ServeConfig::default()
-        },
-    );
-    let spec = WorkloadSpec::new(templates.clone(), queries, seed ^ 0x5EED);
-
-    eprintln!("serving {queries} queries ({mode} loop) across {workers} simulated devices...");
-    let report = match mode {
-        "open" => run_open_loop(&server, &spec, rate),
-        _ => run_closed_loop(&server, &spec, concurrency),
-    };
+    let session = session_from_flags(flags, 0.05, Some(serving_options()))?;
+    let (report, templates, server) = run_serving_workload(
+        &session,
+        executor,
+        workers,
+        queue,
+        cache,
+        queries,
+        mode,
+        rate,
+        concurrency,
+    )?;
     server.shutdown();
 
+    let kind = session.corpus_id().kind;
     println!("\n== serve-bench: {} on {} ==", executor, kind.name());
     match mode {
         "open" => println!(
@@ -284,14 +390,14 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
 
     // Verify: every distinct template's served result must match serial
     // execution exactly (same engine on one fresh device).
-    let test = dataset.store.split(Split::Test);
-    let cost = CostModel::default();
+    let test = session.dataset().store.split(Split::Test);
+    let cost = zeus::sim::CostModel::default();
     let mut verified = 0usize;
     for query in &templates {
         let Some(outcome) = report.outcomes.iter().find(|o| &o.query == query) else {
             continue;
         };
-        let stored = server
+        let stored = session
             .plans()
             .get(query)
             .ok_or("plan vanished from store")?;
@@ -316,86 +422,58 @@ fn cmd_serve_bench(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
-    let (kind, query, scale, seed) = parse_common(flags)?;
-    let method = flags.get("method").map(String::as_str).unwrap_or("zeus-rl");
-    let dataset = kind.generate(scale, seed);
-    let test = dataset.store.split(Split::Test);
-    let cost = CostModel::default();
-    let protocol;
+/// Machine-readable serving benchmark: run the closed-loop serve
+/// workload and write p50/p95/p99 + throughput JSON (the CI perf
+/// artifact seeding the performance trajectory).
+fn cmd_bench(flags: &HashMap<String, String>) -> Result<(), String> {
+    if flags.get("json").is_none() {
+        return Err("bench currently requires --json".into());
+    }
+    let out = flags
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_serving.json")
+        .to_string();
+    let workers: usize = flag_or(flags, "workers", 4)?;
+    let queries: usize = flag_or(flags, "queries", 96)?;
+    let mut flags = flags.clone();
+    flags
+        .entry("dataset".into())
+        .or_insert_with(|| "bdd100k".into());
 
-    // Load from the catalog when possible; plan on the fly otherwise.
-    let stored = match flags.get("catalog") {
-        Some(dir) => PlanCatalog::open(dir)
-            .map_err(|e| e.to_string())?
-            .load(&query)
-            .map_err(|e| e.to_string())?,
-        None => None,
-    };
+    let session = session_from_flags(&flags, 0.05, Some(serving_options()))?;
+    let (report, templates, server) = run_serving_workload(
+        &session,
+        ExecutorKind::ZeusSliding,
+        workers,
+        256,
+        128,
+        queries,
+        "closed",
+        0.0,
+        8,
+    )?;
+    let m = server.metrics();
+    server.shutdown();
 
-    let (rl, sliding) = match stored {
-        Some(stored) => {
-            eprintln!("using stored plan from catalog");
-            protocol = stored.protocol;
-            (
-                stored.zeus_rl_engine(cost.clone()),
-                stored.sliding_engine(cost),
-            )
-        }
-        None => {
-            eprintln!("no stored plan; planning on the fly...");
-            let options = PlannerOptions {
-                seed,
-                ..PlannerOptions::default()
-            };
-            let planner = QueryPlanner::new(&dataset, options);
-            let plan = planner.plan(&query);
-            protocol = plan.protocol;
-            let engines = planner.build_engines(&plan);
-            (engines.zeus_rl, engines.sliding)
-        }
-    };
-
-    let mut runs: Vec<(&str, zeus::core::ExecutionResult)> = Vec::new();
-    if method == "zeus-rl" || method == "all" {
-        runs.push(("Zeus-RL", rl.execute(&test)));
-    }
-    if method == "zeus-sliding" || method == "all" {
-        runs.push(("Zeus-Sliding", sliding.execute(&test)));
-    }
-    if runs.is_empty() {
-        return Err(format!("unknown --method '{method}'"));
-    }
-
-    println!("{}\n", query.to_sql());
-    for (name, exec) in &runs {
-        let report = exec.evaluate(&test, &query.classes, protocol);
-        println!(
-            "{name}: F1 {:.3} (P {:.2} R {:.2}) at {:.0} fps over {} frames",
-            report.f1(),
-            report.precision(),
-            report.recall(),
-            exec.throughput(),
-            exec.total_frames()
-        );
-    }
-
-    // Answer set from the first method.
-    let (_, exec) = &runs[0];
-    let mut shown = 0;
-    println!("\nsegments:");
-    for (video, segments) in exec.output_segments() {
-        for (s, e) in segments {
-            println!("  {video:?}  {s:>7}..{e:<7}");
-            shown += 1;
-            if shown >= 20 {
-                println!("  ... (truncated)");
-                return Ok(());
-            }
-        }
-    }
-    if shown == 0 {
-        println!("  (none found)");
-    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"serving\",\n  \"dataset\": \"{}\",\n  \"workers\": {},\n  \"queries\": {},\n  \"templates\": {},\n  \"completed\": {},\n  \"shed\": {},\n  \"p50_ms\": {:.3},\n  \"p95_ms\": {:.3},\n  \"p99_ms\": {:.3},\n  \"mean_ms\": {:.3},\n  \"throughput_qps\": {:.3},\n  \"cache_hit_rate\": {:.4},\n  \"device_secs\": {:.3},\n  \"wall_secs\": {:.3}\n}}\n",
+        session.corpus_id().kind.name().to_lowercase(),
+        workers,
+        queries,
+        templates.len(),
+        m.completed,
+        m.shed,
+        m.p50.as_secs_f64() * 1e3,
+        m.p95.as_secs_f64() * 1e3,
+        m.p99.as_secs_f64() * 1e3,
+        m.mean.as_secs_f64() * 1e3,
+        m.throughput_qps,
+        m.cache_hit_rate(),
+        m.device_secs,
+        report.wall.as_secs_f64(),
+    );
+    std::fs::write(&out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {out}:\n{json}");
     Ok(())
 }

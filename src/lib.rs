@@ -3,8 +3,18 @@
 //! A Rust reproduction of *Zeus: Efficiently Localizing Actions in Videos
 //! using Reinforcement Learning* (SIGMOD 2022).
 //!
-//! This facade crate re-exports the public API of the workspace crates:
+//! **The supported entry point is [`api::ZeusSession`]** — a fluent,
+//! declarative façade (`session.query("ZQL ...")?.run()`) with typed
+//! errors and the extended ZQL dialect (`LIMIT`, `WINDOW`,
+//! `latency_budget`, `ORDER BY confidence`, `AND NOT`). See
+//! `examples/quickstart.rs` for a five-minute tour and
+//! `examples/serving.rs` for the serving layer.
 //!
+//! The underlying workspace crates remain available for
+//! internals-level work:
+//!
+//! * [`api`] — the session façade, typed [`api::ZeusError`], extended
+//!   ZQL.
 //! * [`nn`] — neural-network substrate (tensors, layers, optimizers).
 //! * [`sim`] — simulated device clock and calibrated cost models.
 //! * [`video`] — synthetic video corpus, annotations, and datasets.
@@ -13,12 +23,10 @@
 //! * [`core`] — the Zeus query planner, executor, baselines, and metrics.
 //! * [`serve`] — the concurrent query-serving subsystem (admission
 //!   control, device-pool scheduling, result caching).
-//!
-//! See `examples/quickstart.rs` for a five-minute tour and
-//! `examples/serving.rs` for the serving layer.
 
 #![warn(missing_docs)]
 pub use zeus_apfg as apfg;
+pub use zeus_api as api;
 pub use zeus_core as core;
 pub use zeus_nn as nn;
 pub use zeus_rl as rl;
@@ -29,7 +37,11 @@ pub use zeus_video as video;
 /// Convenience prelude bringing the most common types into scope.
 pub mod prelude {
     pub use zeus_apfg::Configuration;
-    pub use zeus_core::baselines::{ExecutorKind, QueryEngine};
+    pub use zeus_api::{
+        parse_zql, ExecutorKind, OrderBy, Query, QueryIr, QueryResponse, SegmentHit, VideoResult,
+        ZeusError, ZeusSession,
+    };
+    pub use zeus_core::baselines::QueryEngine;
     pub use zeus_core::config::ConfigSpace;
     pub use zeus_core::metrics::EvalReport;
     pub use zeus_core::planner::{PlannerOptions, QueryPlanner};

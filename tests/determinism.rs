@@ -19,7 +19,7 @@ fn fast_options() -> PlannerOptions {
 fn planning_and_execution_are_bit_reproducible() {
     let run = || {
         let dataset = DatasetKind::Bdd100k.generate(0.12, 77);
-        let query = ActionQuery::new(ActionClass::CrossRight, 0.85);
+        let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
         let planner = QueryPlanner::new(&dataset, fast_options());
         let plan = planner.plan(&query);
         let engines = planner.build_engines(&plan);
@@ -47,7 +47,7 @@ fn planning_and_execution_are_bit_reproducible() {
 fn different_seeds_change_the_corpus_but_not_the_contracts() {
     for seed in [1u64, 2, 3] {
         let dataset = DatasetKind::Thumos14.generate(0.05, seed);
-        let query = ActionQuery::new(ActionClass::PoleVault, 0.75);
+        let query = ActionQuery::new(ActionClass::PoleVault, 0.75).unwrap();
         let planner = QueryPlanner::new(&dataset, fast_options());
         let plan = planner.plan(&query);
         assert_eq!(plan.profiles.len(), 27);
@@ -59,7 +59,7 @@ fn different_seeds_change_the_corpus_but_not_the_contracts() {
 #[test]
 fn engines_are_pure_given_the_same_video() {
     let dataset = DatasetKind::Bdd100k.generate(0.12, 5);
-    let query = ActionQuery::new(ActionClass::LeftTurn, 0.85);
+    let query = ActionQuery::new(ActionClass::LeftTurn, 0.85).unwrap();
     let planner = QueryPlanner::new(&dataset, fast_options());
     let plan = planner.plan(&query);
     let engines = planner.build_engines(&plan);

@@ -21,7 +21,7 @@ fn test_options() -> PlannerOptions {
 #[test]
 fn full_pipeline_produces_consistent_results() {
     let dataset = DatasetKind::Bdd100k.generate(0.2, 33);
-    let query = ActionQuery::new(ActionClass::CrossRight, 0.85);
+    let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
     let planner = QueryPlanner::new(&dataset, test_options());
     let plan = planner.plan(&query);
 
@@ -76,7 +76,7 @@ fn full_pipeline_produces_consistent_results() {
 #[test]
 fn zeus_rl_approaches_the_accuracy_target() {
     let dataset = DatasetKind::Bdd100k.generate(0.3, 11);
-    let query = ActionQuery::new(ActionClass::CrossRight, 0.85);
+    let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
     let planner = QueryPlanner::new(&dataset, PlannerOptions::default());
     let plan = planner.plan(&query);
     let engines = planner.build_engines(&plan);
@@ -120,7 +120,7 @@ fn segment_pp_fails_on_complex_classes_but_not_easy_ones() {
     let thumos = DatasetKind::Thumos14.generate(0.1, 13);
 
     let run = |dataset: &zeus::video::SyntheticDataset, class: ActionClass, target: f64| {
-        let query = ActionQuery::new(class, target);
+        let query = ActionQuery::new(class, target).unwrap();
         let planner = QueryPlanner::new(dataset, test_options());
         let plan = planner.plan(&query);
         let engines = planner.build_engines(&plan);
@@ -145,7 +145,8 @@ fn segment_pp_fails_on_complex_classes_but_not_easy_ones() {
 fn multi_class_union_query_runs_end_to_end() {
     // §6.5 multi-class training.
     let dataset = DatasetKind::Bdd100k.generate(0.2, 17);
-    let query = ActionQuery::multi(vec![ActionClass::CrossRight, ActionClass::CrossLeft], 0.85);
+    let query =
+        ActionQuery::multi(vec![ActionClass::CrossRight, ActionClass::CrossLeft], 0.85).unwrap();
     let planner = QueryPlanner::new(&dataset, test_options());
     let plan = planner.plan(&query);
     let engines = planner.build_engines(&plan);
@@ -158,7 +159,7 @@ fn multi_class_union_query_runs_end_to_end() {
 #[test]
 fn output_segments_overlap_ground_truth() {
     let dataset = DatasetKind::Bdd100k.generate(0.2, 19);
-    let query = ActionQuery::new(ActionClass::CrossRight, 0.85);
+    let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
     let planner = QueryPlanner::new(&dataset, test_options());
     let plan = planner.plan(&query);
     let engines = planner.build_engines(&plan);

@@ -3,12 +3,54 @@
 use proptest::prelude::*;
 use zeus::apfg::Configuration;
 use zeus::core::metrics::{evaluate_events, evaluate_frames, EvalProtocol};
+use zeus::core::query::{parse_zql, ActionQuery, OrderBy, QueryIr};
 use zeus::sim::{CostModel, SimClock, SimDuration};
 use zeus::video::annotation::{interval_iou, runs_from_labels, smooth_labels};
 use zeus::video::segment::{sample_indices, Segment};
 use zeus::video::{ActionClass, DatasetKind};
 
 proptest! {
+    // ---------- ZQL dialect ----------
+
+    /// `parse_zql(ir.to_sql()) == Ok(ir)` across the full extended
+    /// dialect: classes × exclusions × accuracy × LIMIT × WINDOW ×
+    /// latency budget × ORDER BY.
+    #[test]
+    fn extended_zql_roundtrips_through_to_sql(
+        class_pick in 0usize..7,
+        extra_pick in 0usize..8,     // 7 = no second class
+        exclude_pick in 0usize..8,   // 7 = no exclusion
+        acc_pct in 1usize..100,
+        limit in 0usize..20,         // 0 = no LIMIT
+        (t0, len, has_window) in (0usize..500, 1usize..500, any::<bool>()),
+        (budget_ms, has_budget) in (1usize..10_000, any::<bool>()),
+        order_pick in 0usize..3,
+    ) {
+        let all = ActionClass::ALL;
+        let mut classes = vec![all[class_pick]];
+        if extra_pick < all.len() && !classes.contains(&all[extra_pick]) {
+            classes.push(all[extra_pick]);
+        }
+        let exclude = if exclude_pick < all.len() && !classes.contains(&all[exclude_pick]) {
+            vec![all[exclude_pick]]
+        } else {
+            vec![]
+        };
+        let ir = QueryIr {
+            base: ActionQuery::multi(classes, acc_pct as f64 / 100.0).unwrap(),
+            exclude,
+            window: has_window.then_some((t0, t0 + len)),
+            limit: (limit > 0).then_some(limit),
+            latency_budget_ms: has_budget.then_some(budget_ms as f64),
+            order: match order_pick {
+                0 => None,
+                1 => Some(OrderBy::ConfidenceDesc),
+                _ => Some(OrderBy::ConfidenceAsc),
+            },
+        };
+        prop_assert_eq!(parse_zql(&ir.to_sql()), Ok(ir));
+    }
+
     // ---------- annotation / IoU ----------
 
     #[test]

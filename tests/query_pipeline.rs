@@ -5,7 +5,7 @@ use zeus::apfg::simulated::domain_shift;
 use zeus::core::baselines::{QueryEngine, ZeusRl};
 use zeus::core::parallel::execute_parallel;
 use zeus::core::planner::{PlannerOptions, QueryPlanner};
-use zeus::core::query::{parse_query, ActionQuery};
+use zeus::core::query::{parse_zql, ActionQuery};
 use zeus::sim::CostModel;
 use zeus::video::video::Split;
 use zeus::video::{ActionClass, DatasetKind};
@@ -20,11 +20,12 @@ fn fast_options() -> PlannerOptions {
 
 #[test]
 fn parsed_query_drives_the_planner() {
-    let query = parse_query(
+    let query = parse_zql(
         "SELECT segment_ids FROM UDF(video) \
          WHERE action_class = 'pole-vault' AND accuracy >= 0.75",
     )
-    .unwrap();
+    .unwrap()
+    .base;
     let dataset = DatasetKind::Thumos14.generate(0.05, 3);
     let planner = QueryPlanner::new(&dataset, fast_options());
     let plan = planner.plan(&query);
@@ -36,7 +37,7 @@ fn parsed_query_drives_the_planner() {
 fn cross_model_transfer_runs_with_feature_skew() {
     // §6.5: CrossRight agent + CrossLeft APFG.
     let dataset = DatasetKind::Bdd100k.generate(0.15, 9);
-    let query = ActionQuery::new(ActionClass::CrossRight, 0.85);
+    let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
     let planner = QueryPlanner::new(&dataset, fast_options());
     let plan = planner.plan(&query);
 
@@ -78,7 +79,7 @@ fn cross_model_transfer_runs_with_feature_skew() {
 fn domain_shift_reduces_accuracy_consistently() {
     // §6.6: the same plan evaluated in and out of domain.
     let dataset = DatasetKind::Bdd100k.generate(0.2, 21);
-    let query = ActionQuery::new(ActionClass::LeftTurn, 0.85);
+    let query = ActionQuery::new(ActionClass::LeftTurn, 0.85).unwrap();
     let planner = QueryPlanner::new(&dataset, fast_options());
     let plan = planner.plan(&query);
     let test = dataset.store.split(Split::Test);
@@ -122,7 +123,7 @@ fn domain_shift_reduces_accuracy_consistently() {
 #[test]
 fn parallel_execution_preserves_results_and_scales() {
     let dataset = DatasetKind::Bdd100k.generate(0.2, 2);
-    let query = ActionQuery::new(ActionClass::CrossRight, 0.85);
+    let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
     let planner = QueryPlanner::new(&dataset, fast_options());
     let plan = planner.plan(&query);
     let engines = planner.build_engines(&plan);
@@ -147,7 +148,7 @@ fn parallel_execution_preserves_results_and_scales() {
 fn knob_masks_restrict_planning() {
     use zeus::core::KnobMask;
     let dataset = DatasetKind::Bdd100k.generate(0.1, 4);
-    let query = ActionQuery::new(ActionClass::CrossRight, 0.85);
+    let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
     let mut options = fast_options();
     options.knob_mask = KnobMask {
         fix_resolution: Some(300),

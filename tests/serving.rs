@@ -22,7 +22,7 @@ fn fast_options(seed: u64) -> PlannerOptions {
 fn serving_through_the_facade_matches_direct_execution() {
     let (scale, seed) = (0.08, 21u64);
     let dataset = DatasetKind::Bdd100k.generate(scale, seed);
-    let query = ActionQuery::new(ActionClass::CrossRight, 0.85);
+    let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
 
     let planner = QueryPlanner::new(&dataset, fast_options(seed));
     let plan = planner.plan(&query);
@@ -40,7 +40,8 @@ fn serving_through_the_facade_matches_direct_execution() {
             executor: ExecutorKind::ZeusRl,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("server starts");
 
     // A burst of concurrent submissions of the same query: one executes,
     // the rest are answered from the result cache, all byte-identical.
@@ -88,7 +89,7 @@ fn serving_through_the_facade_matches_direct_execution() {
 fn open_loop_workload_reports_latency_percentiles() {
     let (scale, seed) = (0.08, 21u64);
     let dataset = DatasetKind::Bdd100k.generate(scale, seed);
-    let query = ActionQuery::new(ActionClass::LeftTurn, 0.80);
+    let query = ActionQuery::new(ActionClass::LeftTurn, 0.80).unwrap();
 
     let planner = QueryPlanner::new(&dataset, fast_options(seed));
     let plan = planner.plan(&query);
@@ -104,7 +105,8 @@ fn open_loop_workload_reports_latency_percentiles() {
             executor: ExecutorKind::ZeusSliding,
             ..ServeConfig::default()
         },
-    );
+    )
+    .expect("server starts");
     let spec = WorkloadSpec::new(vec![query], 50, 99);
     let report = run_open_loop(&server, &spec, 400.0);
     let metrics = server.metrics();
