@@ -5,6 +5,7 @@ use zeus_core::catalog::CatalogError;
 use zeus_core::planner::PlanError;
 use zeus_core::query::ParseError;
 use zeus_serve::{AdmitError, ServeError};
+use zeus_video::DataError;
 
 /// Anything that can go wrong between a ZQL string and an answer set.
 ///
@@ -23,6 +24,17 @@ pub enum ZeusError {
     Serve(ServeError),
     /// The plan catalog was unreadable or corrupt.
     Catalog(CatalogError),
+    /// The data plane refused: invalid profile, corrupt `.zds` file,
+    /// empty split, bad or duplicate dataset name.
+    Data(DataError),
+    /// A ZQL `FROM <name>` (or an explicit dataset argument) names no
+    /// registered dataset in this session.
+    UnknownDataset {
+        /// The name the query asked for.
+        name: String,
+        /// The names this session can serve.
+        available: Vec<String>,
+    },
     /// Underlying I/O failure (catalog directory, bench output, ...).
     Io(std::io::Error),
     /// The request is well-formed but outside what this build supports
@@ -38,6 +50,12 @@ impl std::fmt::Display for ZeusError {
             ZeusError::Admit(e) => write!(f, "admission error: {e}"),
             ZeusError::Serve(e) => write!(f, "serving error: {e}"),
             ZeusError::Catalog(e) => write!(f, "catalog error: {e}"),
+            ZeusError::Data(e) => write!(f, "data error: {e}"),
+            ZeusError::UnknownDataset { name, available } => write!(
+                f,
+                "unknown dataset '{name}' (registered: {})",
+                available.join(", ")
+            ),
             ZeusError::Io(e) => write!(f, "I/O error: {e}"),
             ZeusError::Unsupported(s) => write!(f, "unsupported: {s}"),
         }
@@ -52,8 +70,9 @@ impl std::error::Error for ZeusError {
             ZeusError::Admit(e) => Some(e),
             ZeusError::Serve(e) => Some(e),
             ZeusError::Catalog(e) => Some(e),
+            ZeusError::Data(e) => Some(e),
             ZeusError::Io(e) => Some(e),
-            ZeusError::Unsupported(_) => None,
+            ZeusError::UnknownDataset { .. } | ZeusError::Unsupported(_) => None,
         }
     }
 }
@@ -91,6 +110,12 @@ impl From<CatalogError> for ZeusError {
 impl From<std::io::Error> for ZeusError {
     fn from(e: std::io::Error) -> Self {
         ZeusError::Io(e)
+    }
+}
+
+impl From<DataError> for ZeusError {
+    fn from(e: DataError) -> Self {
+        ZeusError::Data(e)
     }
 }
 
@@ -147,6 +172,24 @@ mod tests {
                 "gone",
             ),
             (
+                ZeusError::Data(DataError::InvalidProfile("class mix empty".into())),
+                "data error",
+                "class mix",
+            ),
+            (
+                ZeusError::Data(DataError::Corrupt("checksum mismatch".into())),
+                "data error",
+                "checksum",
+            ),
+            (
+                ZeusError::UnknownDataset {
+                    name: "imagenet".into(),
+                    available: vec!["bdd100k".into(), "kitti".into()],
+                },
+                "unknown dataset",
+                "bdd100k, kitti",
+            ),
+            (
                 ZeusError::Unsupported("Segment-PP serving".into()),
                 "unsupported",
                 "Segment-PP",
@@ -184,6 +227,10 @@ mod tests {
         assert!(matches!(
             ZeusError::from(std::io::Error::other("x")),
             ZeusError::Io(_)
+        ));
+        assert!(matches!(
+            ZeusError::from(DataError::EmptySplit("test")),
+            ZeusError::Data(_)
         ));
     }
 

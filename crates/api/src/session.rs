@@ -1,5 +1,13 @@
-//! The fluent session façade: dataset + planner + plan store behind one
-//! handle, queries as ZQL strings in, answer sets out.
+//! The fluent session façade: named datasets + planner + plan store
+//! behind one handle, queries as ZQL strings in, answer sets out.
+//!
+//! A session hosts *any number* of registered data sources — the five
+//! built-in paper corpora, `.zds` files, custom profile-defined corpora,
+//! composite/filtered views — and routes every query by its ZQL
+//! `FROM <dataset>` clause (`FROM UDF(video)` targets the default
+//! source). Plans and result caches are keyed per (corpus fingerprint,
+//! query), so two corpora in one session never share or clobber trained
+//! plans.
 
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -16,10 +24,23 @@ use zeus_core::ExecutorKind;
 use zeus_serve::{CorpusId, PlanStore, QueryRefiner, SegmentHit, ServeConfig, ZeusServer};
 use zeus_sim::SimClock;
 use zeus_video::annotation::runs_from_labels;
+use zeus_video::registry::DatasetRegistry;
+use zeus_video::source::{normalize_name, DataSource, SharedSource};
 use zeus_video::video::Split;
 use zeus_video::{DatasetKind, SyntheticDataset, Video, VideoId};
 
 use crate::error::ZeusError;
+
+/// How a builder entry materializes into a data source at build time.
+#[derive(Clone)]
+enum SourceSpec {
+    /// A built-in corpus, generated at the builder's scale/seed.
+    Kind(DatasetKind),
+    /// An already-materialized source.
+    Ready(SharedSource),
+    /// A `.zds` file loaded at build.
+    File(PathBuf),
+}
 
 /// Fluent construction of a [`ZeusSession`].
 ///
@@ -29,14 +50,16 @@ use crate::error::ZeusError;
 ///
 /// let session = ZeusSession::builder()
 ///     .dataset(DatasetKind::Bdd100k)
+///     .register_kind(DatasetKind::Thumos14)
 ///     .scale(0.2)
 ///     .seed(42)
 ///     .build()?;
 /// # Ok::<(), zeus_api::ZeusError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ZeusSessionBuilder {
-    kind: DatasetKind,
+    sources: Vec<(String, SourceSpec)>,
+    default_source: Option<String>,
     scale: f64,
     seed: u64,
     options: PlannerOptions,
@@ -44,10 +67,27 @@ pub struct ZeusSessionBuilder {
     executor: ExecutorKind,
 }
 
+impl std::fmt::Debug for ZeusSessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ZeusSessionBuilder")
+            .field(
+                "sources",
+                &self.sources.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+            )
+            .field("default_source", &self.default_source)
+            .field("scale", &self.scale)
+            .field("seed", &self.seed)
+            .field("catalog", &self.catalog)
+            .field("executor", &self.executor)
+            .finish()
+    }
+}
+
 impl Default for ZeusSessionBuilder {
     fn default() -> Self {
         ZeusSessionBuilder {
-            kind: DatasetKind::Bdd100k,
+            sources: Vec::new(),
+            default_source: None,
             scale: 0.2,
             seed: 2022,
             options: PlannerOptions::default(),
@@ -58,21 +98,85 @@ impl Default for ZeusSessionBuilder {
 }
 
 impl ZeusSessionBuilder {
-    /// Which synthetic dataset the session is bound to.
+    /// Insert (or replace) a named spec. Replacement matches on the
+    /// *normalized* name (so `"MyData"` and `"mydata"` are one entry);
+    /// an unnormalizable name is kept verbatim and rejected with a typed
+    /// error at [`Self::build`].
+    fn put(&mut self, name: String, spec: SourceSpec) {
+        let name = normalize_name(&name).unwrap_or(name);
+        match self.sources.iter_mut().find(|(n, _)| n == &name) {
+            Some((_, existing)) => *existing = spec,
+            None => self.sources.push((name, spec)),
+        }
+    }
+
+    /// Register a built-in corpus (generated at the session scale/seed)
+    /// and make it the session default. Equivalent to
+    /// [`Self::register_kind`] + [`Self::default_source`].
     pub fn dataset(mut self, kind: DatasetKind) -> Self {
-        self.kind = kind;
+        self.put(kind.registry_name().to_string(), SourceSpec::Kind(kind));
+        self.default_source = Some(kind.registry_name().to_string());
         self
     }
 
-    /// Corpus generation scale (1.0 = paper scale).
+    /// Register a built-in corpus under its registry name without
+    /// changing the default. The corpus is generated at build time at the
+    /// session scale/seed.
+    pub fn register_kind(mut self, kind: DatasetKind) -> Self {
+        self.put(kind.registry_name().to_string(), SourceSpec::Kind(kind));
+        self
+    }
+
+    /// Register a custom data source under `name` — a generated
+    /// [`SyntheticDataset`], a concatenation, a filtered view, anything
+    /// implementing [`DataSource`].
+    pub fn register(mut self, name: impl AsRef<str>, source: impl DataSource + 'static) -> Self {
+        self.put(
+            name.as_ref().to_string(),
+            SourceSpec::Ready(Arc::new(source)),
+        );
+        self
+    }
+
+    /// Register an already-shared data source under `name`.
+    pub fn register_shared(mut self, name: impl AsRef<str>, source: SharedSource) -> Self {
+        self.put(name.as_ref().to_string(), SourceSpec::Ready(source));
+        self
+    }
+
+    /// Register a corpus persisted to a `.zds` file, loaded (and
+    /// checksum-verified) at build time.
+    pub fn source_file(mut self, name: impl AsRef<str>, path: impl Into<PathBuf>) -> Self {
+        self.put(name.as_ref().to_string(), SourceSpec::File(path.into()));
+        self
+    }
+
+    /// Adopt every source of a [`DatasetRegistry`] (registration order
+    /// preserved; same-name entries replace earlier builder entries).
+    pub fn sources(mut self, registry: &DatasetRegistry) -> Self {
+        for (name, source) in registry.iter() {
+            self.put(name.to_string(), SourceSpec::Ready(Arc::clone(source)));
+        }
+        self
+    }
+
+    /// Which registered dataset unrouted queries (`FROM UDF(video)`)
+    /// target. Defaults to the first registration.
+    pub fn default_source(mut self, name: impl AsRef<str>) -> Self {
+        self.default_source = Some(name.as_ref().to_string());
+        self
+    }
+
+    /// Corpus generation scale for [`Self::dataset`] /
+    /// [`Self::register_kind`] entries (1.0 = paper scale).
     pub fn scale(mut self, scale: f64) -> Self {
         self.scale = scale;
         self
     }
 
-    /// The session seed: generates the corpus and seeds the planner.
-    /// Applied at [`Self::build`], so `.seed()` and `.planner()` may be
-    /// called in either order.
+    /// The session seed: generates built-in corpora and seeds the
+    /// planner. Applied at [`Self::build`], so `.seed()` and `.planner()`
+    /// may be called in either order.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -86,7 +190,8 @@ impl ZeusSessionBuilder {
         self
     }
 
-    /// Persist/reuse plans in a `.zpln` catalog directory.
+    /// Persist/reuse plans in a `.zpln` catalog directory (plans live in
+    /// per-corpus-fingerprint subdirectories).
     pub fn catalog(mut self, dir: impl Into<PathBuf>) -> Self {
         self.catalog = Some(dir.into());
         self
@@ -99,10 +204,13 @@ impl ZeusSessionBuilder {
         self
     }
 
-    /// Generate the corpus and assemble the session. Fails (typed, no
-    /// panics) on a degenerate scale, an unusable catalog directory, or
-    /// a corpus whose splits are empty.
-    pub fn build(self) -> Result<ZeusSession, ZeusError> {
+    /// Materialize every registered source and assemble the session.
+    /// Fails (typed, no panics) on a degenerate scale, an unusable
+    /// catalog directory or `.zds` file, duplicate or invalid dataset
+    /// names, or a corpus whose splits are empty. With no registration
+    /// at all, a BDD100K corpus is generated as the sole source
+    /// (preserving the classic single-dataset construction).
+    pub fn build(mut self) -> Result<ZeusSession, ZeusError> {
         if !(self.scale > 0.0 && self.scale.is_finite()) {
             return Err(ZeusError::Plan(PlanError::InvalidOptions(format!(
                 "corpus scale must be positive, got {}",
@@ -111,23 +219,55 @@ impl ZeusSessionBuilder {
         }
         let mut options = self.options;
         options.seed = self.seed;
-        let dataset = self.kind.generate(self.scale, self.seed);
-        for (split, name) in [
-            (Split::Train, "train"),
-            (Split::Validation, "validation"),
-            (Split::Test, "test"),
-        ] {
-            if dataset.store.split(split).is_empty() {
-                return Err(ZeusError::Plan(PlanError::EmptySplit(name)));
-            }
+        if self.sources.is_empty() {
+            self.sources.push((
+                DatasetKind::Bdd100k.registry_name().to_string(),
+                SourceSpec::Kind(DatasetKind::Bdd100k),
+            ));
         }
+
+        let mut sources: Vec<SessionSource> = Vec::with_capacity(self.sources.len());
+        for (name, spec) in self.sources {
+            // `put` already deduplicated normalized names (later
+            // registrations replace earlier ones), so this can only
+            // fail on an unnormalizable name.
+            let name = normalize_name(&name)?;
+            let source: SharedSource = match spec {
+                SourceSpec::Kind(kind) => Arc::new(kind.generate(self.scale, self.seed)),
+                SourceSpec::Ready(source) => source,
+                SourceSpec::File(path) => Arc::new(SyntheticDataset::load(&path)?),
+            };
+            // The shared emptiness check (store-level, reused by every
+            // layer) instead of per-call-site split probing.
+            source.store().validate_splits()?;
+            let corpus = CorpusId::of(source.as_ref());
+            sources.push(SessionSource {
+                name,
+                source,
+                corpus,
+            });
+        }
+        let default_source = match self.default_source {
+            Some(name) => {
+                let name = normalize_name(&name)?;
+                if !sources.iter().any(|s| s.name == name) {
+                    return Err(ZeusError::UnknownDataset {
+                        name,
+                        available: sources.iter().map(|s| s.name.clone()).collect(),
+                    });
+                }
+                name
+            }
+            None => sources[0].name.clone(),
+        };
+
         let plans = match &self.catalog {
             Some(dir) => PlanStore::with_catalog(dir)?,
             None => PlanStore::in_memory(),
         };
         Ok(ZeusSession {
-            corpus: CorpusId::new(self.kind, self.scale, self.seed),
-            dataset,
+            sources,
+            default_source,
             options,
             plans: Arc::new(plans),
             executor: self.executor,
@@ -138,14 +278,27 @@ impl ZeusSessionBuilder {
     }
 }
 
-/// Session-local plan-cache key: catalog key + exact target bits.
-type PlanKey = (String, u64);
-
-fn plan_key(query: &ActionQuery) -> PlanKey {
-    (PlanCatalog::key(query), query.target_accuracy.to_bits())
+/// One registered dataset: its normalized name, the source, and the
+/// content-fingerprint corpus identity that scopes its plans and caches.
+struct SessionSource {
+    name: String,
+    source: SharedSource,
+    corpus: CorpusId,
 }
 
-/// The unified entry point to Zeus: one corpus, one planner
+/// Session-local plan-cache key: corpus fingerprint + catalog key +
+/// exact target bits.
+type PlanKey = (CorpusId, String, u64);
+
+fn plan_key(corpus: CorpusId, query: &ActionQuery) -> PlanKey {
+    (
+        corpus,
+        PlanCatalog::key(query),
+        query.target_accuracy.to_bits(),
+    )
+}
+
+/// The unified entry point to Zeus: named corpora, one planner
 /// configuration, one plan store — and every query a ZQL string.
 ///
 /// A session replaces the hand-wired `QueryPlanner::new` → `plan` →
@@ -153,15 +306,28 @@ fn plan_key(query: &ActionQuery) -> PlanKey {
 ///
 /// ```no_run
 /// use zeus_api::ZeusSession;
+/// use zeus_video::DatasetKind;
 ///
-/// let session = ZeusSession::builder().scale(0.2).build()?;
+/// let session = ZeusSession::builder()
+///     .dataset(DatasetKind::Bdd100k)
+///     .register_kind(DatasetKind::Thumos14)
+///     .scale(0.2)
+///     .build()?;
+/// // Unrouted queries hit the default corpus (bdd100k here)...
 /// let response = session
 ///     .query(
 ///         "SELECT segment_ids FROM UDF(video) \
 ///          WHERE action_class = 'cross-right' AND accuracy >= 85% LIMIT 10",
 ///     )?
 ///     .run()?;
-/// for hit in &response.answer {
+/// // ...and `FROM <dataset>` routes to any registered corpus.
+/// let sports = session
+///     .query(
+///         "SELECT segment_ids FROM thumos14 \
+///          WHERE action_class = 'pole-vault' AND accuracy >= 75%",
+///     )?
+///     .run()?;
+/// for hit in response.answer.iter().chain(&sports.answer) {
 ///     println!("{:?} {}..{}", hit.video, hit.start, hit.end);
 /// }
 /// # Ok::<(), zeus_api::ZeusError>(())
@@ -170,24 +336,29 @@ fn plan_key(query: &ActionQuery) -> PlanKey {
 /// Plan resolution never retrains what it can reuse: a query first
 /// checks the session's in-memory plan cache, then the shared
 /// [`PlanStore`] (including the `.zpln` catalog when one is
-/// configured), and only trains from scratch on a complete miss.
+/// configured), and only trains from scratch on a complete miss. Every
+/// plan and cache key carries the corpus fingerprint, so the same SQL
+/// against two registered corpora trains two independent plans.
 /// [`Self::serve`] starts a [`ZeusServer`] sharing the same plan store,
 /// so everything the session planned is immediately servable.
 pub struct ZeusSession {
-    dataset: SyntheticDataset,
-    corpus: CorpusId,
+    sources: Vec<SessionSource>,
+    default_source: String,
     options: PlannerOptions,
     plans: Arc<PlanStore>,
     executor: ExecutorKind,
-    /// Full trained plans (with profiles) per query core; the `PlanStore`
-    /// holds the serialized form used by serving and the catalog.
+    /// Full trained plans (with profiles) per (corpus, query core); the
+    /// `PlanStore` holds the serialized form used by serving and the
+    /// catalog.
     plan_cache: RwLock<HashMap<PlanKey, Arc<QueryPlan>>>,
-    /// Per-core training guards: concurrent queries for the same
-    /// uncached core serialize on its guard so training is paid once.
+    /// Per-(corpus, core) training guards: concurrent queries for the
+    /// same uncached core serialize on its guard so training is paid
+    /// once.
     plan_locks: Mutex<HashMap<PlanKey, Arc<Mutex<()>>>>,
     /// Profile tables (Table 2) re-derived for store-resolved plans:
     /// budgeted sliding queries need them for config re-selection, and
-    /// the profiling pass is paid once per core, not once per run.
+    /// the profiling pass is paid once per (corpus, core), not once per
+    /// run.
     profile_cache: RwLock<HashMap<PlanKey, Arc<Vec<ConfigProfile>>>>,
 }
 
@@ -197,14 +368,39 @@ impl ZeusSession {
         ZeusSessionBuilder::default()
     }
 
-    /// The corpus this session queries.
-    pub fn dataset(&self) -> &SyntheticDataset {
-        &self.dataset
+    /// The registered dataset names, in registration order.
+    pub fn source_names(&self) -> Vec<&str> {
+        self.sources.iter().map(|s| s.name.as_str()).collect()
     }
 
-    /// The corpus identity (keys result caches in serving).
+    /// The name of the default dataset (`FROM UDF(video)` target).
+    pub fn default_source_name(&self) -> &str {
+        &self.default_source
+    }
+
+    /// The default data source.
+    pub fn source(&self) -> &dyn DataSource {
+        self.resolve(None)
+            .expect("a session always holds its default source")
+            .source
+            .as_ref()
+    }
+
+    /// A registered data source by name (case-insensitive).
+    pub fn source_named(&self, name: &str) -> Result<&dyn DataSource, ZeusError> {
+        Ok(self.resolve(Some(name))?.source.as_ref())
+    }
+
+    /// The default corpus identity (keys plans and result caches).
     pub fn corpus_id(&self) -> CorpusId {
-        self.corpus
+        self.resolve(None)
+            .expect("a session always holds its default source")
+            .corpus
+    }
+
+    /// A registered corpus identity by name.
+    pub fn corpus_named(&self, name: &str) -> Result<CorpusId, ZeusError> {
+        Ok(self.resolve(Some(name))?.corpus)
     }
 
     /// The plan store shared with any server started by [`Self::serve`].
@@ -212,56 +408,94 @@ impl ZeusSession {
         &self.plans
     }
 
-    /// Parse a ZQL string into a prepared [`Query`].
+    /// Resolve an optional dataset name (a `FROM` clause) to its
+    /// session source; `None` targets the default.
+    fn resolve(&self, name: Option<&str>) -> Result<&SessionSource, ZeusError> {
+        let wanted = match name {
+            Some(n) => normalize_name(n).map_err(|_| ZeusError::UnknownDataset {
+                name: n.to_string(),
+                available: self.sources.iter().map(|s| s.name.clone()).collect(),
+            })?,
+            None => self.default_source.clone(),
+        };
+        self.sources
+            .iter()
+            .find(|s| s.name == wanted)
+            .ok_or_else(|| ZeusError::UnknownDataset {
+                name: wanted,
+                available: self.sources.iter().map(|s| s.name.clone()).collect(),
+            })
+    }
+
+    /// Parse a ZQL string into a prepared [`Query`]. The `FROM` clause
+    /// is resolved here: `FROM <unknown>` is a typed
+    /// [`ZeusError::UnknownDataset`] before any planning work.
     pub fn query(&self, zql: &str) -> Result<Query<'_>, ZeusError> {
         self.prepare(parse_zql(zql)?)
     }
 
-    /// Prepare an already-compiled [`QueryIr`] (validates it first).
+    /// Prepare an already-compiled [`QueryIr`] (validates it and
+    /// resolves its dataset routing first).
     pub fn prepare(&self, ir: QueryIr) -> Result<Query<'_>, ZeusError> {
         ir.validate()?;
+        let source = self.resolve(ir.source.as_deref())?;
         Ok(Query {
             session: self,
+            source,
             ir,
             executor: self.executor,
         })
     }
 
-    /// Start a serving engine over this session's corpus and plan store.
+    /// Start a serving engine over the session's default corpus and plan
+    /// store.
     ///
     /// Every query planned through the session (explicitly via
     /// [`Query::plan`] or implicitly via [`Query::run`]) is resolvable by
     /// the server without retraining.
     pub fn serve(&self, config: ServeConfig) -> Result<ZeusServer, ZeusError> {
-        Ok(ZeusServer::start(
-            &self.dataset,
-            self.corpus,
+        self.serve_dataset(&self.default_source, config)
+    }
+
+    /// Start a serving engine over a named corpus, sharing the session's
+    /// plan store. Each server is bound to one corpus; run one per
+    /// dataset to serve a heterogeneous fleet (they share trained plans
+    /// through the store without fingerprint collisions).
+    pub fn serve_dataset(&self, name: &str, config: ServeConfig) -> Result<ZeusServer, ZeusError> {
+        let source = self.resolve(Some(name))?;
+        Ok(ZeusServer::start_as(
+            source.source.as_ref(),
+            source.name.clone(),
             Arc::clone(&self.plans),
             config,
         )?)
     }
 
-    fn planner(&self) -> QueryPlanner<'_> {
-        QueryPlanner::new(&self.dataset, self.options.clone())
+    fn planner<'a>(&'a self, source: &'a SessionSource) -> QueryPlanner<'a> {
+        QueryPlanner::new(source.source.as_ref(), self.options.clone())
     }
 
     /// The full plan trained this session, if any.
-    fn cached_plan(&self, base: &ActionQuery) -> Option<Arc<QueryPlan>> {
+    fn cached_plan(&self, source: &SessionSource, base: &ActionQuery) -> Option<Arc<QueryPlan>> {
         self.plan_cache
             .read()
             .expect("plan cache")
-            .get(&plan_key(base))
+            .get(&plan_key(source.corpus, base))
             .cloned()
     }
 
-    /// The trained plan for a query core: session cache, then plan from
-    /// scratch (training — the expensive path, paid once per core and
-    /// persisted to the plan store / catalog). Engine construction
-    /// prefers [`Self::cached_plan`] / the [`PlanStore`] and only lands
-    /// here on a complete miss (or for executors that need the full
-    /// profile table).
-    fn base_plan(&self, base: &ActionQuery) -> Result<Arc<QueryPlan>, ZeusError> {
-        if let Some(plan) = self.cached_plan(base) {
+    /// The trained plan for a (corpus, query core): session cache, then
+    /// plan from scratch (training — the expensive path, paid once per
+    /// core and persisted to the plan store / catalog). Engine
+    /// construction prefers [`Self::cached_plan`] / the [`PlanStore`]
+    /// and only lands here on a complete miss (or for executors that
+    /// need the full profile table).
+    fn base_plan(
+        &self,
+        source: &SessionSource,
+        base: &ActionQuery,
+    ) -> Result<Arc<QueryPlan>, ZeusError> {
+        if let Some(plan) = self.cached_plan(source, base) {
             return Ok(plan);
         }
         // Serialize training per core: the first caller trains while
@@ -271,33 +505,39 @@ impl ZeusSession {
             let mut locks = self.plan_locks.lock().expect("plan locks");
             Arc::clone(
                 locks
-                    .entry(plan_key(base))
+                    .entry(plan_key(source.corpus, base))
                     .or_insert_with(|| Arc::new(Mutex::new(()))),
             )
         };
         let _training = guard.lock().expect("training guard");
-        if let Some(plan) = self.cached_plan(base) {
+        if let Some(plan) = self.cached_plan(source, base) {
             return Ok(plan);
         }
-        let plan = Arc::new(self.planner().try_plan(base)?);
-        self.plans.install(&plan, self.options.seed)?;
+        let plan = Arc::new(self.planner(source).try_plan(base)?);
+        self.plans
+            .install(source.corpus, &plan, self.options.seed)?;
         self.plan_cache
             .write()
             .expect("plan cache")
-            .insert(plan_key(base), Arc::clone(&plan));
+            .insert(plan_key(source.corpus, base), Arc::clone(&plan));
         Ok(plan)
     }
 
     /// The profile table for a store-resolved plan, re-derived on first
     /// use (sliding execution over the validation split — no RL
-    /// training) and cached per core.
-    fn stored_profiles(&self, base: &ActionQuery, stored: &StoredPlan) -> Arc<Vec<ConfigProfile>> {
-        let key = plan_key(base);
+    /// training) and cached per (corpus, core).
+    fn stored_profiles(
+        &self,
+        source: &SessionSource,
+        base: &ActionQuery,
+        stored: &StoredPlan,
+    ) -> Arc<Vec<ConfigProfile>> {
+        let key = plan_key(source.corpus, base);
         if let Some(profiles) = self.profile_cache.read().expect("profile cache").get(&key) {
             return Arc::clone(profiles);
         }
-        let planner = self.planner();
-        let space = ConfigSpace::for_dataset(self.dataset.kind()).masked(self.options.knob_mask);
+        let planner = self.planner(source);
+        let space = ConfigSpace::for_family(source.source.family()).masked(self.options.knob_mask);
         let profiles = Arc::new(planner.profile_configurations(base, &space, &stored.apfg()));
         self.profile_cache
             .write()
@@ -306,21 +546,23 @@ impl ZeusSession {
         profiles
     }
 
-    /// Test-split videos in canonical (id) order.
-    fn test_videos(&self) -> Vec<&Video> {
-        let mut videos = self.dataset.store.split(Split::Test);
+    /// Test-split videos of a source in canonical (id) order.
+    fn test_videos<'a>(&self, source: &'a SessionSource) -> Vec<&'a Video> {
+        let mut videos = source.source.store().split(Split::Test);
         videos.sort_by_key(|v| v.id);
         videos
     }
 }
 
-/// A prepared query bound to a session: pick an executor, then [`run`]
-/// (batch) or [`run_streaming`] (per-video iterator).
+/// A prepared query bound to a session and a resolved dataset: pick an
+/// executor, then [`run`] (batch) or [`run_streaming`] (per-video
+/// iterator).
 ///
 /// [`run`]: Query::run
 /// [`run_streaming`]: Query::run_streaming
 pub struct Query<'s> {
     session: &'s ZeusSession,
+    source: &'s SessionSource,
     ir: QueryIr,
     executor: ExecutorKind,
 }
@@ -337,6 +579,16 @@ impl<'s> Query<'s> {
         &self.ir
     }
 
+    /// The registered name of the dataset this query resolved to.
+    pub fn dataset_name(&self) -> &str {
+        &self.source.name
+    }
+
+    /// The corpus identity this query's plans and caches are scoped to.
+    pub fn corpus_id(&self) -> CorpusId {
+        self.source.corpus
+    }
+
     /// Round-trip the query back to ZQL text.
     pub fn to_sql(&self) -> String {
         self.ir.to_sql()
@@ -348,19 +600,23 @@ impl<'s> Query<'s> {
         self
     }
 
+    /// The stored plan for this query's (corpus, core), if one is
+    /// resolvable without training.
+    pub fn lookup(&self) -> Option<Arc<StoredPlan>> {
+        self.session.plans.get(self.source.corpus, &self.ir.base)
+    }
+
     /// Ensure this query's core is planned and return the stored form —
     /// the warm-up path for serving and the catalog. Resolution is
     /// store-first: a plan already in the session's [`PlanStore`]
     /// (including one persisted by an earlier process via the catalog)
     /// is returned as-is; only a complete miss trains.
     pub fn plan(&self) -> Result<Arc<StoredPlan>, ZeusError> {
-        if let Some(stored) = self.session.plans.get(&self.ir.base) {
+        if let Some(stored) = self.lookup() {
             return Ok(stored);
         }
-        self.session.base_plan(&self.ir.base)?;
-        self.session
-            .plans
-            .get(&self.ir.base)
+        self.session.base_plan(self.source, &self.ir.base)?;
+        self.lookup()
             .ok_or_else(|| ZeusError::Unsupported("freshly trained plan must be stored".into()))
     }
 
@@ -370,14 +626,14 @@ impl<'s> Query<'s> {
     /// entry alone: use it when the full planning artifacts are needed
     /// (e.g. reporting training costs, building all five engines).
     pub fn train(&self) -> Result<Arc<QueryPlan>, ZeusError> {
-        self.session.base_plan(&self.ir.base)
+        self.session.base_plan(self.source, &self.ir.base)
     }
 
     /// Resolve this query to an engine without retraining what can be
     /// reused: the session's full-plan cache first, then the plan store
     /// (catalog) for plan-reconstructable executors, then training.
     fn resolve(&self) -> Result<ResolvedEngine, ZeusError> {
-        if let Some(plan) = self.session.cached_plan(&self.ir.base) {
+        if let Some(plan) = self.session.cached_plan(self.source, &self.ir.base) {
             return Ok(ResolvedEngine {
                 engine: self.engine_from_plan(&plan),
                 protocol: plan.protocol,
@@ -387,14 +643,14 @@ impl<'s> Query<'s> {
             self.executor,
             ExecutorKind::ZeusRl | ExecutorKind::ZeusSliding
         ) {
-            if let Some(stored) = self.session.plans.get(&self.ir.base) {
+            if let Some(stored) = self.lookup() {
                 return Ok(ResolvedEngine {
                     protocol: stored.protocol,
                     engine: self.engine_from_stored(&stored),
                 });
             }
         }
-        let plan = self.session.base_plan(&self.ir.base)?;
+        let plan = self.session.base_plan(self.source, &self.ir.base)?;
         Ok(ResolvedEngine {
             engine: self.engine_from_plan(&plan),
             protocol: plan.protocol,
@@ -406,7 +662,7 @@ impl<'s> Query<'s> {
     /// configuration under a throughput floor (tighter budget → faster
     /// configuration); Zeus-RL adapts per-segment and needs no override.
     fn engine_from_plan(&self, plan: &QueryPlan) -> Box<dyn QueryEngine + Send + Sync> {
-        let planner = self.session.planner();
+        let planner = self.session.planner(self.source);
         match (self.executor, planner.budget_min_fps(&self.ir)) {
             (ExecutorKind::ZeusSliding, Some(floor)) => {
                 let config = QueryPlanner::select_sliding_config_bounded(
@@ -430,12 +686,14 @@ impl<'s> Query<'s> {
     /// configuration space (cheap: sliding execution over the validation
     /// split, no RL training) to re-select under the throughput floor.
     fn engine_from_stored(&self, stored: &StoredPlan) -> Box<dyn QueryEngine + Send + Sync> {
-        let planner = self.session.planner();
+        let planner = self.session.planner(self.source);
         let cost = planner.cost_model().clone();
         match self.executor {
             ExecutorKind::ZeusSliding => {
                 if let Some(floor) = planner.budget_min_fps(&self.ir) {
-                    let profiles = self.session.stored_profiles(&self.ir.base, stored);
+                    let profiles = self
+                        .session
+                        .stored_profiles(self.source, &self.ir.base, stored);
                     let config = QueryPlanner::select_sliding_config_bounded(
                         &profiles,
                         self.ir.base.target_accuracy,
@@ -451,11 +709,11 @@ impl<'s> Query<'s> {
         }
     }
 
-    /// Execute the query over the session's test split and return the
+    /// Execute the query over its dataset's test split and return the
     /// evaluated response with the refined answer set.
     pub fn run(&self) -> Result<QueryResponse, ZeusError> {
         let resolved = self.resolve()?;
-        let videos = self.session.test_videos();
+        let videos = self.session.test_videos(self.source);
         let exec = resolved.engine.execute(&videos);
         let report = exec.evaluate(&videos, &self.ir.base.classes, resolved.protocol);
         let refiner = QueryRefiner::new(&self.ir, videos.iter().copied());
@@ -476,7 +734,7 @@ impl<'s> Query<'s> {
     /// needs the full answer set and only applies to [`Query::run`].
     pub fn run_streaming(&self) -> Result<VideoResults<'s>, ZeusError> {
         let resolved = self.resolve()?;
-        let videos = self.session.test_videos();
+        let videos = self.session.test_videos(self.source);
         let refiner = QueryRefiner::new(&self.ir, videos.iter().copied());
         Ok(VideoResults {
             videos,

@@ -183,14 +183,14 @@ pub fn table4(contexts: &[(&str, &ExperimentContext)]) -> ExperimentOutput {
     ];
     let mut rows = Vec::new();
     for (name, ctx) in contexts {
-        let full_space = ConfigSpace::for_dataset(ctx.dataset.kind());
+        let full_space = ConfigSpace::for_family(ctx.dataset.family());
         let paper = paper_max
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
             .unwrap_or(f64::NAN);
         rows.push(vec![
-            ctx.dataset.kind().name().into(),
+            ctx.dataset.name().to_string(),
             (*name).into(),
             format!("{}", full_space.len()),
             format!("{:.3}", ctx.plan.max_accuracy),
@@ -772,7 +772,7 @@ pub fn extension_serving(ctx: &ExperimentContext) -> ExperimentOutput {
     // 24 query identities over one trained plan; 48 submissions → every
     // identity runs once and repeats hit the result cache.
     let targets: Vec<f64> = (0..24).map(|i| 0.70 + 0.005 * i as f64).collect();
-    let corpus = CorpusId::new(ctx.dataset.kind(), ctx.scale, ctx.seed);
+    let corpus = CorpusId::of(&ctx.dataset);
     let templates: Vec<ActionQuery> = targets
         .iter()
         .map(|&t| ActionQuery::multi(ctx.query.classes.clone(), t).unwrap())
@@ -793,11 +793,10 @@ pub fn extension_serving(ctx: &ExperimentContext) -> ExperimentOutput {
         for template in &templates {
             let mut variant = stored.clone();
             variant.query = template.clone();
-            plans.install_stored(variant);
+            plans.install_stored(corpus, variant);
         }
         let server = ZeusServer::start(
             &ctx.dataset,
-            corpus,
             plans,
             ServeConfig {
                 workers,

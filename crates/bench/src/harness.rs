@@ -79,7 +79,7 @@ impl ExperimentContext {
 
     /// The evaluation protocol for this dataset.
     pub fn protocol(&self) -> EvalProtocol {
-        EvalProtocol::for_dataset(self.dataset.kind())
+        EvalProtocol::for_family(self.dataset.family())
     }
 
     /// Test-split videos.

@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 use zeus_apfg::Configuration;
 use zeus_sim::CostModel;
-use zeus_video::DatasetKind;
+use zeus_video::{ConfigFamily, DatasetKind};
 
 /// Knob-disabling mask for the §6.4 ablation ("we disable each knob (fix
 /// the value) one at a time"). A fixed knob keeps only configurations
@@ -87,20 +87,27 @@ impl ConfigSpace {
         }
     }
 
-    /// The paper's knob settings for each dataset (Table 4):
-    /// BDD100K (and its §6.6 transfer targets): resolutions
-    /// {150, 200, 250, 300}, lengths {2, 4, 6, 8}, sampling {1, 2, 4, 8}
-    /// — 64 configurations. Thumos14/ActivityNet: {40, 80, 160} ×
-    /// {32, 48, 64} × {2, 4, 8} — 27 configurations.
-    pub fn for_dataset(kind: DatasetKind) -> Self {
-        match kind {
-            DatasetKind::Bdd100k | DatasetKind::Cityscapes | DatasetKind::Kitti => {
+    /// The paper's knob settings per configuration family (Table 4):
+    /// driving corpora (BDD100K and its §6.6 transfer targets):
+    /// resolutions {150, 200, 250, 300}, lengths {2, 4, 6, 8}, sampling
+    /// {1, 2, 4, 8} — 64 configurations. Untrimmed corpora
+    /// (Thumos14/ActivityNet): {40, 80, 160} × {32, 48, 64} × {2, 4, 8}
+    /// — 27 configurations. Any [`zeus_video::DataSource`] declares its
+    /// family through its profile, so custom corpora plan against one of
+    /// these spaces too.
+    pub fn for_family(family: ConfigFamily) -> Self {
+        match family {
+            ConfigFamily::Driving => {
                 Self::from_knobs(&[150, 200, 250, 300], &[2, 4, 6, 8], &[1, 2, 4, 8])
             }
-            DatasetKind::Thumos14 | DatasetKind::ActivityNet => {
-                Self::from_knobs(&[40, 80, 160], &[32, 48, 64], &[2, 4, 8])
-            }
+            ConfigFamily::Untrimmed => Self::from_knobs(&[40, 80, 160], &[32, 48, 64], &[2, 4, 8]),
         }
+    }
+
+    /// Knob settings for a built-in corpus — sugar over
+    /// [`ConfigSpace::for_family`].
+    pub fn for_dataset(kind: DatasetKind) -> Self {
+        Self::for_family(kind.family())
     }
 
     /// All configurations.

@@ -9,7 +9,7 @@
 //! positive.
 
 use serde::{Deserialize, Serialize};
-use zeus_video::DatasetKind;
+use zeus_video::{ConfigFamily, DatasetKind};
 
 /// The evaluation protocol: window length K.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,16 +25,21 @@ impl EvalProtocol {
         EvalProtocol { window }
     }
 
-    /// Default window per dataset, scaled to the dataset's action lengths
-    /// (BDD actions are short — K=16; the sports/activity corpora use the
-    /// paper's longer segment scale — K=64).
-    pub fn for_dataset(kind: DatasetKind) -> Self {
-        match kind {
-            DatasetKind::Bdd100k | DatasetKind::Cityscapes | DatasetKind::Kitti => {
-                EvalProtocol::new(16)
-            }
-            DatasetKind::Thumos14 | DatasetKind::ActivityNet => EvalProtocol::new(64),
+    /// Default window per configuration family, scaled to the family's
+    /// action lengths (driving actions are short — K=16; the untrimmed
+    /// sports/activity corpora use the paper's longer segment scale —
+    /// K=64).
+    pub fn for_family(family: ConfigFamily) -> Self {
+        match family {
+            ConfigFamily::Driving => EvalProtocol::new(16),
+            ConfigFamily::Untrimmed => EvalProtocol::new(64),
         }
+    }
+
+    /// Default window for a built-in corpus — sugar over
+    /// [`EvalProtocol::for_family`].
+    pub fn for_dataset(kind: DatasetKind) -> Self {
+        Self::for_family(kind.family())
     }
 
     /// Binary window labels from frame labels: positive when IoU with the

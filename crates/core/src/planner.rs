@@ -12,7 +12,7 @@ use zeus_rl::agent::{DqnAgent, DqnConfig, GreedyPolicy};
 use zeus_rl::{DqnTrainer, EpsilonSchedule, RewardMode, TrainerConfig, TrainingReport};
 use zeus_sim::{CostModel, DeviceProfile};
 use zeus_video::video::Split;
-use zeus_video::{SyntheticDataset, Video};
+use zeus_video::{DataSource, Video};
 
 use crate::baselines::{ExecutorKind, QueryEngine};
 use crate::baselines::{FramePp, SegmentPp, ZeusHeuristic, ZeusRl, ZeusSliding};
@@ -219,19 +219,21 @@ pub struct QueryPlan {
     pub protocol: EvalProtocol,
 }
 
-/// The Zeus query planner bound to one dataset.
+/// The Zeus query planner bound to one data source (any
+/// [`DataSource`] — a generated paper corpus, a `.zds` file, a
+/// composite/filtered view).
 pub struct QueryPlanner<'a> {
-    dataset: &'a SyntheticDataset,
+    source: &'a dyn DataSource,
     options: PlannerOptions,
     cost: CostModel,
 }
 
 impl<'a> QueryPlanner<'a> {
-    /// Create a planner for a dataset.
-    pub fn new(dataset: &'a SyntheticDataset, options: PlannerOptions) -> Self {
+    /// Create a planner over a data source.
+    pub fn new(source: &'a dyn DataSource, options: PlannerOptions) -> Self {
         let cost = CostModel::new(options.device.clone());
         QueryPlanner {
-            dataset,
+            source,
             options,
             cost,
         }
@@ -262,8 +264,8 @@ impl<'a> QueryPlanner<'a> {
         space: &ConfigSpace,
         apfg: &SimulatedApfg,
     ) -> Vec<ConfigProfile> {
-        let protocol = EvalProtocol::for_dataset(self.dataset.kind());
-        let validation = self.dataset.store.split(Split::Validation);
+        let protocol = EvalProtocol::for_family(self.source.family());
+        let validation = self.source.store().split(Split::Validation);
         assert!(!validation.is_empty(), "validation split is empty");
         space
             .configs()
@@ -410,8 +412,8 @@ impl<'a> QueryPlanner<'a> {
     pub fn budget_min_fps(&self, ir: &QueryIr) -> Option<f64> {
         ir.latency_budget_ms.map(|ms| {
             let frames: u64 = self
-                .dataset
-                .store
+                .source
+                .store()
                 .split(Split::Test)
                 .iter()
                 .map(|v| v.num_frames as u64)
@@ -436,18 +438,18 @@ impl<'a> QueryPlanner<'a> {
                 "candidate portfolio is empty".into(),
             ));
         }
-        let space = ConfigSpace::for_dataset(self.dataset.kind()).masked(self.options.knob_mask);
+        let space = ConfigSpace::for_family(self.source.family()).masked(self.options.knob_mask);
         if space.is_empty() {
             return Err(PlanError::EmptySpace);
         }
-        if self.dataset.store.split(Split::Validation).is_empty() {
+        if self.source.store().split(Split::Validation).is_empty() {
             return Err(PlanError::EmptySplit("validation"));
         }
-        if self.dataset.store.split(Split::Train).is_empty() {
+        if self.source.store().split(Split::Train).is_empty() {
             return Err(PlanError::EmptySplit("train"));
         }
         let apfg = self.build_apfg(query, &space);
-        let protocol = EvalProtocol::for_dataset(self.dataset.kind());
+        let protocol = EvalProtocol::for_family(self.source.family());
 
         // 1. Configuration cost metrics (Table 2).
         let profiles = self.profile_configurations(query, &space, &apfg);
@@ -469,8 +471,8 @@ impl<'a> QueryPlanner<'a> {
 
         // 3. Train the RL agent on the training split.
         let train_videos: Vec<Video> = self
-            .dataset
-            .store
+            .source
+            .store()
             .split(Split::Train)
             .into_iter()
             .cloned()
@@ -497,7 +499,7 @@ impl<'a> QueryPlanner<'a> {
         // meeting the target, the fastest; otherwise the most accurate.
         // This is the planner-side counterpart of the paper's claim that
         // Zeus "consistently meets the user-specified accuracy target".
-        let validation: Vec<&Video> = self.dataset.store.split(Split::Validation);
+        let validation: Vec<&Video> = self.source.store().split(Split::Validation);
         let mut best: Option<(GreedyPolicy, TrainingReport, f64, f64)> = None;
         let mut trainer_cfg = self.options.trainer.clone();
         for (i, spec) in self.options.candidates.iter().enumerate() {

@@ -20,8 +20,10 @@
 //! except that `WINDOW`, `ORDER BY` and `LIMIT` follow the predicates):
 //!
 //! ```text
-//! query       := SELECT segment_ids FROM UDF(video) WHERE predicates
+//! query       := SELECT segment_ids FROM source WHERE predicates
 //!                [window] [order] [limit]
+//! source      := UDF(video)                       -- the session default
+//!              | dataset_name                     -- a registered corpus
 //! predicates  := class_pred { AND class_pred | AND NOT class_pred
 //!                           | AND accuracy_pred | AND budget_pred }
 //! class_pred  := action_class = 'name'
@@ -35,6 +37,11 @@
 //!
 //! Semantics:
 //!
+//! * `FROM <dataset_name>` routes the query to a named corpus registered
+//!   with the session's dataset registry (`FROM bdd100k`,
+//!   `FROM my_corpus`); `FROM UDF(video)` keeps the paper's original
+//!   spelling and targets the session's default corpus. Names are
+//!   lowercase identifiers over `[a-z0-9_-]` (normalized at parse).
 //! * `AND NOT action_class ...` excludes segments overlapping the named
 //!   class(es) from the answer set (boolean class predicates).
 //! * `accuracy` is the paper's user-specified target α: `80%` and `0.8`
@@ -136,6 +143,10 @@ pub enum OrderBy {
 pub struct QueryIr {
     /// The classic query core: union classes + accuracy target.
     pub base: ActionQuery,
+    /// `FROM <dataset>` routing: the registered corpus this query
+    /// targets. `None` (the `FROM UDF(video)` spelling) targets the
+    /// session's default corpus.
+    pub source: Option<String>,
     /// Classes excluded by `AND NOT action_class ...` predicates.
     pub exclude: Vec<ActionClass>,
     /// `WINDOW [t0, t1]` frame range (half-open `[t0, t1)`).
@@ -153,12 +164,20 @@ impl QueryIr {
     pub fn from_query(base: ActionQuery) -> Self {
         QueryIr {
             base,
+            source: None,
             exclude: Vec::new(),
             window: None,
             limit: None,
             latency_budget_ms: None,
             order: None,
         }
+    }
+
+    /// Route this query to a named dataset (builder-style sugar for
+    /// setting [`QueryIr::source`]).
+    pub fn on_dataset(mut self, name: impl Into<String>) -> Self {
+        self.source = Some(name.into());
+        self
     }
 
     /// The classic core (classes + accuracy target) that keys plans and
@@ -170,7 +189,8 @@ impl QueryIr {
     /// True when the query carries no extended clauses (a classic §1
     /// query).
     pub fn is_classic(&self) -> bool {
-        self.exclude.is_empty()
+        self.source.is_none()
+            && self.exclude.is_empty()
             && self.window.is_none()
             && self.limit.is_none()
             && self.latency_budget_ms.is_none()
@@ -188,6 +208,11 @@ impl QueryIr {
                 "{}",
                 self.base.target_accuracy
             )));
+        }
+        if let Some(name) = &self.source {
+            if !is_dataset_name(name) {
+                return Err(ParseError::BadSource(name.clone()));
+            }
         }
         if let Some(conflict) = self.base.classes.iter().find(|c| self.exclude.contains(c)) {
             return Err(ParseError::ConflictingClasses(
@@ -215,7 +240,8 @@ impl QueryIr {
     /// `parse_zql(ir.to_sql()) == Ok(ir)` round-trips exactly.
     pub fn to_sql(&self) -> String {
         let mut sql = format!(
-            "SELECT segment_ids FROM UDF(video) WHERE {}",
+            "SELECT segment_ids FROM {} WHERE {}",
+            self.source.as_deref().unwrap_or("UDF(video)"),
             class_predicate(&self.base.classes)
         );
         for class in &self.exclude {
@@ -244,8 +270,11 @@ impl QueryIr {
 /// constructors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
-    /// The query skeleton (SELECT ... FROM UDF(video) WHERE ...) is absent.
+    /// The query skeleton (SELECT ... FROM ... WHERE ...) is absent.
     NotAnActionQuery(String),
+    /// The `FROM` operand is neither `UDF(video)` nor a valid dataset
+    /// name (`[a-z0-9_-]+` after lowercasing).
+    BadSource(String),
     /// `action_class` predicate missing or malformed.
     MissingClass,
     /// An action class name was not recognised.
@@ -270,6 +299,12 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::NotAnActionQuery(s) => write!(f, "not an action query: {s}"),
+            ParseError::BadSource(s) => {
+                write!(
+                    f,
+                    "bad FROM operand '{s}': expected UDF(video) or a dataset name"
+                )
+            }
             ParseError::MissingClass => write!(f, "missing action_class predicate"),
             ParseError::UnknownClass(c) => write!(f, "unknown action class '{c}'"),
             ParseError::MissingAccuracy => write!(f, "missing accuracy predicate"),
@@ -322,9 +357,37 @@ fn parse_usize_prefix(s: &str) -> Option<(usize, &str)> {
 /// the degenerate case (every extension clause optional).
 pub fn parse_zql(sql: &str) -> Result<QueryIr, ParseError> {
     let lower = sql.to_ascii_lowercase();
-    if !(lower.contains("select") && lower.contains("udf") && lower.contains("where")) {
+    if !(lower.contains("select") && lower.contains("from") && lower.contains("where")) {
         return Err(ParseError::NotAnActionQuery(sql.trim().to_string()));
     }
+
+    // --- FROM routing: `UDF(video)` targets the session default;
+    // anything else must be a registered dataset name. ---
+    let not_a_query = || ParseError::NotAnActionQuery(sql.trim().to_string());
+    // Unreachable `ok_or_else`s given the skeleton check above, but keep
+    // typed errors rather than index panics.
+    let from_pos = find_word(&lower, "from").ok_or_else(not_a_query)?;
+    let after = &lower[from_pos + "from".len()..];
+    let where_rel = find_word(after, "where").ok_or_else(not_a_query)?;
+    let source = {
+        let operand = after[..where_rel].trim();
+        // Only the call form `udf(...)` is the default-corpus spelling;
+        // a *name* starting with "udf" (e.g. `udf_logs`) is a regular
+        // registered dataset.
+        if operand.starts_with("udf(") || operand.starts_with("udf ") {
+            None
+        } else if is_dataset_name(operand) {
+            Some(operand.to_string())
+        } else {
+            return Err(ParseError::BadSource(operand.to_string()));
+        }
+    };
+    // Every remaining clause lives after WHERE; scanning only from there
+    // keeps keyword-bearing dataset names (`time_window`, `speed_limit`,
+    // `accuracy_test`, ...) out of the predicate/clause parsers.
+    let where_pos = from_pos + "from".len() + where_rel;
+    let sql = &sql[where_pos..];
+    let lower = lower[where_pos..].to_string();
 
     // --- Trailing clauses: LIMIT, ORDER BY, WINDOW (peeled right to
     // left so predicate parsing never sees them). ---
@@ -457,6 +520,7 @@ pub fn parse_zql(sql: &str) -> Result<QueryIr, ParseError> {
 
     let ir = QueryIr {
         base: ActionQuery::multi(classes, value)?,
+        source,
         exclude,
         window,
         limit,
@@ -465,6 +529,36 @@ pub fn parse_zql(sql: &str) -> Result<QueryIr, ParseError> {
     };
     ir.validate()?;
     Ok(ir)
+}
+
+/// Is `name` a valid (already-lowercased) dataset identifier?
+fn is_dataset_name(name: &str) -> bool {
+    // The name grammar is owned by `zeus_video::source::normalize_name`;
+    // a routable name must additionally already *be* its normalized form
+    // (the parser lowercases, and `to_sql` must round-trip).
+    zeus_video::source::normalize_name(name).is_ok_and(|normalized| normalized == name)
+}
+
+/// Find a keyword as a standalone word (not a substring of an
+/// identifier) in an already-lowercased haystack.
+fn find_word(lower: &str, word: &str) -> Option<usize> {
+    let mut search = 0;
+    while let Some(rel) = lower[search..].find(word) {
+        let pos = search + rel;
+        let before_ok = lower[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_ascii_alphanumeric() && c != '_');
+        let after_ok = lower[pos + word.len()..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_ascii_alphanumeric() && c != '_');
+        if before_ok && after_ok {
+            return Some(pos);
+        }
+        search = pos + word.len();
+    }
+    None
 }
 
 /// Parse the operand of one `action_class` predicate (`= 'name'` or
@@ -563,6 +657,7 @@ mod tests {
     fn extended_ir_roundtrips_through_to_sql() {
         let ir = QueryIr {
             base: ActionQuery::multi(vec![ActionClass::CrossRight], 0.846).unwrap(),
+            source: Some("bdd100k".into()),
             exclude: vec![ActionClass::CrossLeft],
             window: Some((0, 300)),
             limit: Some(5),
@@ -570,6 +665,58 @@ mod tests {
             order: Some(OrderBy::ConfidenceAsc),
         };
         assert_eq!(parse_zql(&ir.to_sql()), Ok(ir));
+    }
+
+    #[test]
+    fn from_dataset_routes_and_roundtrips() {
+        let ir = q("SELECT segment_ids FROM bdd100k \
+             WHERE action_class = 'cross-right' AND accuracy >= 85%");
+        assert_eq!(ir.source.as_deref(), Some("bdd100k"));
+        assert!(!ir.is_classic(), "FROM <dataset> is an extended clause");
+        assert_eq!(parse_zql(&ir.to_sql()), Ok(ir));
+        // Names are lowercased at parse.
+        let upper = q("SELECT segment_ids FROM THUMOS14 \
+             WHERE action_class = 'pole-vault' AND accuracy >= 75%");
+        assert_eq!(upper.source.as_deref(), Some("thumos14"));
+        // UDF(video) stays the default-corpus spelling.
+        let classic = q("SELECT segment_ids FROM UDF(video) \
+             WHERE action_class = 'cross-right' AND accuracy >= 85%");
+        assert_eq!(classic.source, None);
+        // A *name* beginning with "udf" is a regular dataset, not the
+        // default-corpus spelling — only the call form `udf(...)` is.
+        let udfish = q("SELECT segment_ids FROM udf_logs \
+             WHERE action_class = 'cross-right' AND accuracy >= 85%");
+        assert_eq!(udfish.source.as_deref(), Some("udf_logs"));
+        assert_eq!(parse_zql(&udfish.to_sql()), Ok(udfish));
+    }
+
+    #[test]
+    fn keyword_bearing_dataset_names_parse_and_roundtrip() {
+        // Clause keywords inside the FROM operand must not confuse the
+        // predicate/clause parsers (they scan from WHERE onward only).
+        for name in ["time_window", "speed_limit", "accuracy_test", "order_v2"] {
+            let ir = q(&format!(
+                "SELECT segment_ids FROM {name} \
+                 WHERE action_class = 'cross-right' AND accuracy >= 85% LIMIT 3"
+            ));
+            assert_eq!(ir.source.as_deref(), Some(name));
+            assert_eq!(ir.limit, Some(3));
+            assert_eq!(parse_zql(&ir.to_sql()), Ok(ir));
+        }
+    }
+
+    #[test]
+    fn bad_from_operands_are_typed_errors() {
+        for from in ["two words", "däta", "videos.parquet"] {
+            let sql = format!(
+                "SELECT segment_ids FROM {from} \
+                 WHERE action_class = 'cross-right' AND accuracy >= 85%"
+            );
+            assert!(
+                matches!(parse_zql(&sql), Err(ParseError::BadSource(_))),
+                "FROM {from} must be rejected"
+            );
+        }
     }
 
     #[test]

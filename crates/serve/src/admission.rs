@@ -33,6 +33,14 @@ pub enum AdmitError {
         /// Catalog key of the missing plan.
         key: String,
     },
+    /// The query's ZQL `FROM <dataset>` names a corpus this server does
+    /// not serve (each server instance is bound to one data source).
+    WrongDataset {
+        /// The dataset the query asked for.
+        requested: String,
+        /// The dataset this server serves.
+        serving: String,
+    },
 }
 
 impl std::fmt::Display for AdmitError {
@@ -46,6 +54,10 @@ impl std::fmt::Display for AdmitError {
             }
             AdmitError::ShuttingDown => write!(f, "server is shutting down"),
             AdmitError::NoPlan { key } => write!(f, "no stored plan for query '{key}'"),
+            AdmitError::WrongDataset { requested, serving } => write!(
+                f,
+                "query targets dataset '{requested}' but this server serves '{serving}'"
+            ),
         }
     }
 }

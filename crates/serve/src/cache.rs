@@ -13,28 +13,40 @@ use parking_lot::Mutex;
 use zeus_core::query::ActionQuery;
 use zeus_core::result::QueryResult;
 use zeus_core::ExecutorKind;
-use zeus_video::{DatasetKind, VideoId};
+use zeus_video::{DataSource, DatasetKind, VideoId};
 
-/// Identity of the corpus a server instance serves (part of the cache
-/// key: the same SQL against a different corpus is a different result).
+/// Identity of the corpus a server instance serves: the content
+/// fingerprint of its [`DataSource`]. Part of every cache and plan key —
+/// the same SQL against a different corpus is a different result, so two
+/// corpora can never share or clobber each other's entries.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct CorpusId {
-    /// Which synthetic dataset.
-    pub kind: DatasetKind,
-    /// Generation scale, as raw bits (f64 is not `Hash`/`Eq`).
-    pub scale_bits: u64,
-    /// Generation seed.
-    pub seed: u64,
-}
+pub struct CorpusId(pub u64);
 
 impl CorpusId {
-    /// Build from the generation parameters.
+    /// The identity of a data source (its content fingerprint). A corpus
+    /// regenerated from the same profile and seed — or round-tripped
+    /// through a `.zds` file — keeps its identity.
+    pub fn of(source: &dyn DataSource) -> Self {
+        CorpusId(source.fingerprint())
+    }
+
+    /// Legacy constructor for `DatasetKind`-generated corpora: computes
+    /// the *content* fingerprint by regenerating the corpus from its
+    /// parameters (generation is deterministic and cheap — annotations
+    /// only), so the result equals `CorpusId::of` of the same corpus and
+    /// keys the same plans and cache entries as the new API.
+    #[deprecated(
+        since = "0.1.0",
+        note = "corpus identity is now the DataSource content fingerprint; use `CorpusId::of`"
+    )]
     pub fn new(kind: DatasetKind, scale: f64, seed: u64) -> Self {
-        CorpusId {
-            kind,
-            scale_bits: scale.to_bits(),
-            seed,
-        }
+        CorpusId::of(&kind.generate(scale, seed))
+    }
+}
+
+impl std::fmt::Display for CorpusId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
     }
 }
 
@@ -193,7 +205,7 @@ mod tests {
     fn key(target_pct: u32) -> CacheKey {
         CacheKey::new(
             &ActionQuery::new(ActionClass::LeftTurn, target_pct as f64 / 100.0).unwrap(),
-            CorpusId::new(DatasetKind::Bdd100k, 0.1, 7),
+            CorpusId(0xB00),
             ExecutorKind::ZeusSliding,
         )
     }
@@ -230,7 +242,7 @@ mod tests {
         let c = ResultCache::new(8);
         c.insert(key(80), value(1));
         let other_corpus = CacheKey {
-            corpus: CorpusId::new(DatasetKind::Bdd100k, 0.2, 7),
+            corpus: CorpusId(0xB01),
             ..key(80)
         };
         let other_exec = CacheKey {
@@ -245,7 +257,7 @@ mod tests {
     fn targets_rounding_to_the_same_percent_do_not_collide() {
         // The catalog key rounds to integer percent; the cache key must
         // still distinguish 0.846 from 0.854 (both round to 85%).
-        let corpus = CorpusId::new(DatasetKind::Bdd100k, 0.1, 7);
+        let corpus = CorpusId::of(&DatasetKind::Bdd100k.generate(0.05, 7));
         let a = CacheKey::new(
             &ActionQuery::new(ActionClass::LeftTurn, 0.846).unwrap(),
             corpus,

@@ -1,16 +1,25 @@
 //! Plan resolution with reuse: in-memory map in front of the on-disk
-//! [`PlanCatalog`].
+//! [`PlanCatalog`], scoped per corpus.
 //!
 //! Planning a query costs minutes of simulated APFG fine-tuning plus RL
 //! training (Table 6); the serving layer must never pay it on the request
-//! path. A [`PlanStore`] resolves queries to [`StoredPlan`]s through two
-//! tiers — a process-local map, then the `.zpln` catalog directory — and
-//! exposes [`PlanStore::install`] for warming either tier ahead of
-//! traffic. A query with no resolvable plan is refused at admission
+//! path. A [`PlanStore`] resolves `(corpus, query)` pairs to
+//! [`StoredPlan`]s through two tiers — a process-local map, then a
+//! per-corpus `.zpln` catalog directory — and exposes
+//! [`PlanStore::install`] for warming either tier ahead of traffic. A
+//! query with no resolvable plan is refused at admission
 //! (`AdmitError::NoPlan`) rather than trained inline.
+//!
+//! Every key carries the corpus fingerprint ([`CorpusId`]): the same SQL
+//! trained over two different corpora yields two independent plans, so a
+//! multi-dataset session can share one store across all its corpora
+//! without cross-dataset reuse or clobbering. On disk, each corpus gets
+//! its own subdirectory (`<dir>/<fingerprint>/<key>.zpln`), so the
+//! `.zpln` file format itself is unchanged.
 
 use std::collections::HashMap;
 use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -18,19 +27,28 @@ use zeus_core::catalog::{decode_plan, encode_plan, PlanCatalog, StoredPlan};
 use zeus_core::planner::QueryPlan;
 use zeus_core::query::ActionQuery;
 
-/// Exact in-memory key for a query: the catalog key rounds the accuracy
-/// target to integer percent, so it is disambiguated with the raw target
-/// bits (0.846 and 0.854 are distinct plans even though both round to
-/// `...-085`).
-type MemKey = (String, u64);
+use crate::cache::CorpusId;
 
-fn mem_key(query: &ActionQuery) -> MemKey {
-    (PlanCatalog::key(query), query.target_accuracy.to_bits())
+/// Exact in-memory key for a plan: the corpus fingerprint plus the
+/// catalog key, disambiguated with the raw target bits (the catalog key
+/// rounds the accuracy target to integer percent, so 0.846 and 0.854 are
+/// distinct plans even though both round to `...-085`).
+type MemKey = (CorpusId, String, u64);
+
+fn mem_key(corpus: CorpusId, query: &ActionQuery) -> MemKey {
+    (
+        corpus,
+        PlanCatalog::key(query),
+        query.target_accuracy.to_bits(),
+    )
 }
 
-/// Two-tier plan resolver: memory, then catalog.
+/// Two-tier plan resolver: memory, then per-corpus catalog directory.
 pub struct PlanStore {
-    catalog: Option<PlanCatalog>,
+    catalog_dir: Option<PathBuf>,
+    /// Opened per-corpus catalogs, memoized so lookups never repeat the
+    /// open (and its `create_dir_all`) on the request path.
+    catalogs: RwLock<HashMap<CorpusId, PlanCatalog>>,
     mem: RwLock<HashMap<MemKey, Arc<StoredPlan>>>,
 }
 
@@ -38,25 +56,49 @@ impl PlanStore {
     /// A store with no disk tier (plans must be installed explicitly).
     pub fn in_memory() -> Self {
         PlanStore {
-            catalog: None,
+            catalog_dir: None,
+            catalogs: RwLock::new(HashMap::new()),
             mem: RwLock::new(HashMap::new()),
         }
     }
 
     /// A store backed by a catalog directory: plans persisted by earlier
     /// `zeus plan` invocations are reused without retraining, and
-    /// installed plans are persisted for future processes.
+    /// installed plans are persisted for future processes. Each corpus
+    /// writes into its own fingerprint-named subdirectory.
     pub fn with_catalog(dir: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        std::fs::create_dir_all(&dir)?;
         Ok(PlanStore {
-            catalog: Some(PlanCatalog::open(dir)?),
+            catalog_dir: Some(dir.as_ref().to_path_buf()),
+            catalogs: RwLock::new(HashMap::new()),
             mem: RwLock::new(HashMap::new()),
         })
     }
 
-    /// Install a freshly-trained plan into both tiers. Returns the
-    /// catalog path when a disk tier exists.
+    /// The catalog for one corpus's subdirectory, when a disk tier
+    /// exists. Lookups (`create: false`) never create the directory —
+    /// a corpus that was merely *probed* leaves no trace on disk.
+    fn catalog(&self, corpus: CorpusId, create: bool) -> io::Result<Option<PlanCatalog>> {
+        let Some(dir) = &self.catalog_dir else {
+            return Ok(None);
+        };
+        if let Some(catalog) = self.catalogs.read().get(&corpus) {
+            return Ok(Some(catalog.clone()));
+        }
+        let path = dir.join(corpus.to_string());
+        if !create && !path.is_dir() {
+            return Ok(None);
+        }
+        let catalog = PlanCatalog::open(path)?;
+        self.catalogs.write().insert(corpus, catalog.clone());
+        Ok(Some(catalog))
+    }
+
+    /// Install a freshly-trained plan for a corpus into both tiers.
+    /// Returns the catalog path when a disk tier exists.
     pub fn install(
         &self,
+        corpus: CorpusId,
         plan: &QueryPlan,
         apfg_seed: u64,
     ) -> io::Result<Option<std::path::PathBuf>> {
@@ -68,8 +110,8 @@ impl PlanStore {
             decode_plan(&encode_plan(plan, apfg_seed)).expect("freshly encoded plan must decode");
         self.mem
             .write()
-            .insert(mem_key(&stored.query), Arc::new(stored));
-        match &self.catalog {
+            .insert(mem_key(corpus, &stored.query), Arc::new(stored));
+        match self.catalog(corpus, true)? {
             Some(catalog) => Ok(Some(catalog.save(plan, apfg_seed)?)),
             None => Ok(None),
         }
@@ -79,20 +121,29 @@ impl PlanStore {
     /// (no disk write). Used to share one trained policy across many
     /// query identities — e.g. the same class served at many accuracy
     /// targets — without retraining per identity.
-    pub fn install_stored(&self, stored: StoredPlan) {
+    pub fn install_stored(&self, corpus: CorpusId, stored: StoredPlan) {
         self.mem
             .write()
-            .insert(mem_key(&stored.query), Arc::new(stored));
+            .insert(mem_key(corpus, &stored.query), Arc::new(stored));
     }
 
-    /// Resolve a query to a stored plan: memory first, then catalog
-    /// (memoizing a disk hit). `None` means the query was never planned.
-    pub fn get(&self, query: &ActionQuery) -> Option<Arc<StoredPlan>> {
-        let key = mem_key(query);
+    /// Resolve a `(corpus, query)` pair to a stored plan: memory first,
+    /// then the corpus's catalog subdirectory (memoizing a disk hit).
+    /// `None` means the query was never planned on this corpus — a plan
+    /// trained for the same SQL on a *different* corpus is never
+    /// returned.
+    pub fn get(&self, corpus: CorpusId, query: &ActionQuery) -> Option<Arc<StoredPlan>> {
+        let key = mem_key(corpus, query);
         if let Some(plan) = self.mem.read().get(&key) {
             return Some(Arc::clone(plan));
         }
-        let catalog = self.catalog.as_ref()?;
+        let catalog = match self.catalog(corpus, false) {
+            Ok(catalog) => catalog?,
+            Err(e) => {
+                eprintln!("plan catalog: cannot open corpus directory {corpus}: {e}");
+                return None;
+            }
+        };
         match catalog.load(query) {
             // Catalog file names round the target, so a loaded plan may
             // have been trained for a *different* exact target; serve it
@@ -105,7 +156,7 @@ impl PlanStore {
             Ok(Some(stored)) => {
                 eprintln!(
                     "plan catalog: '{}' holds a plan for target {} (requested {}); treating as a miss",
-                    key.0, stored.query.target_accuracy, query.target_accuracy
+                    key.1, stored.query.target_accuracy, query.target_accuracy
                 );
                 None
             }
@@ -115,14 +166,14 @@ impl PlanStore {
                 // as a miss (the operator re-plans).
                 eprintln!(
                     "plan catalog: ignoring unreadable plan for '{}': {e}",
-                    key.0
+                    key.1
                 );
                 None
             }
         }
     }
 
-    /// Number of plans resident in memory.
+    /// Number of plans resident in memory (across all corpora).
     pub fn resident(&self) -> usize {
         self.mem.read().len()
     }
@@ -132,46 +183,81 @@ impl PlanStore {
 mod tests {
     use super::*;
     use zeus_core::planner::{PlannerOptions, QueryPlanner};
-    use zeus_video::{ActionClass, DatasetKind};
+    use zeus_video::{ActionClass, DatasetKind, SyntheticDataset};
 
-    fn tiny_plan() -> (QueryPlan, u64) {
-        let ds = DatasetKind::Bdd100k.generate(0.08, 3);
+    fn tiny_plan_on(ds: &SyntheticDataset) -> (QueryPlan, u64) {
         let mut options = PlannerOptions::default();
         options.trainer.episodes = 2;
         options.trainer.warmup = 64;
         options.candidates.truncate(1);
         let seed = options.seed;
-        let planner = QueryPlanner::new(&ds, options);
+        let planner = QueryPlanner::new(ds, options);
         let plan = planner.plan(&ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap());
         (plan, seed)
     }
 
+    fn tiny_plan() -> (QueryPlan, u64, CorpusId) {
+        let ds = DatasetKind::Bdd100k.generate(0.08, 3);
+        let (plan, seed) = tiny_plan_on(&ds);
+        (plan, seed, CorpusId::of(&ds))
+    }
+
     #[test]
     fn install_then_get_resolves_in_memory() {
-        let (plan, seed) = tiny_plan();
+        let (plan, seed, corpus) = tiny_plan();
         let store = PlanStore::in_memory();
-        assert!(store.get(&plan.query).is_none());
-        store.install(&plan, seed).unwrap();
-        let stored = store.get(&plan.query).expect("installed");
+        assert!(store.get(corpus, &plan.query).is_none());
+        store.install(corpus, &plan, seed).unwrap();
+        let stored = store.get(corpus, &plan.query).expect("installed");
         assert_eq!(stored.query, plan.query);
         assert_eq!(store.resident(), 1);
     }
 
     #[test]
     fn catalog_tier_survives_a_new_store() {
-        let (plan, seed) = tiny_plan();
+        let (plan, seed, corpus) = tiny_plan();
         let dir = std::env::temp_dir().join(format!("zeus-serve-plans-{}", std::process::id()));
         {
             let store = PlanStore::with_catalog(&dir).unwrap();
-            store.install(&plan, seed).unwrap();
+            store.install(corpus, &plan, seed).unwrap();
         }
         // A fresh store (fresh process, conceptually) resolves from disk —
         // the query is *not* re-planned.
         let store = PlanStore::with_catalog(&dir).unwrap();
         assert_eq!(store.resident(), 0);
-        let stored = store.get(&plan.query).expect("catalog hit");
+        let stored = store.get(corpus, &plan.query).expect("catalog hit");
         assert_eq!(stored.query, plan.query);
         assert_eq!(store.resident(), 1, "disk hit must be memoized");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plans_are_isolated_per_corpus_fingerprint() {
+        // Two corpora with the *same* SQL identity (same class, same
+        // target): only the fingerprint separates their plans.
+        let a = DatasetKind::Bdd100k.generate(0.08, 3);
+        let b = DatasetKind::Bdd100k.generate(0.08, 4);
+        let (corpus_a, corpus_b) = (CorpusId::of(&a), CorpusId::of(&b));
+        assert_ne!(corpus_a, corpus_b);
+        let (plan_a, seed) = tiny_plan_on(&a);
+
+        let dir =
+            std::env::temp_dir().join(format!("zeus-serve-plan-isolation-{}", std::process::id()));
+        let store = PlanStore::with_catalog(&dir).unwrap();
+        store.install(corpus_a, &plan_a, seed).unwrap();
+
+        // Corpus B must not see corpus A's plan — in memory or on disk.
+        assert!(store.get(corpus_b, &plan_a.query).is_none());
+        assert!(store.get(corpus_a, &plan_a.query).is_some());
+        let fresh = PlanStore::with_catalog(&dir).unwrap();
+        assert!(fresh.get(corpus_b, &plan_a.query).is_none());
+        assert!(fresh.get(corpus_a, &plan_a.query).is_some());
+
+        // Installing B's own plan for the identical SQL does not clobber
+        // A's.
+        let (plan_b, seed_b) = tiny_plan_on(&b);
+        store.install(corpus_b, &plan_b, seed_b).unwrap();
+        assert_eq!(store.resident(), 2, "one resident plan per corpus");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -187,6 +187,7 @@ mod tests {
     fn ir(window: Option<(usize, usize)>, limit: Option<usize>, order: Option<OrderBy>) -> QueryIr {
         QueryIr {
             base: ActionQuery::new(ActionClass::LeftTurn, 0.8).unwrap(),
+            source: None,
             exclude: vec![],
             window,
             limit,

@@ -21,7 +21,7 @@ use zeus_core::ExecutorKind;
 use zeus_sim::{CostModel, DeviceProfile};
 use zeus_video::annotation::runs_from_labels;
 use zeus_video::video::Split;
-use zeus_video::SyntheticDataset;
+use zeus_video::DataSource;
 
 use zeus_core::query::QueryIr;
 
@@ -96,6 +96,7 @@ pub struct ZeusServer {
     plans: Arc<PlanStore>,
     config: ServeConfig,
     corpus: CorpusId,
+    dataset_name: String,
     cost: CostModel,
     next_id: AtomicU64,
     handles: Mutex<Vec<JoinHandle<()>>>,
@@ -105,20 +106,41 @@ pub struct ZeusServer {
 }
 
 impl ZeusServer {
-    /// Start a server over a corpus: spin up `config.workers` threads,
-    /// each owning one device from a [`DevicePool`].
+    /// Start a server over any [`DataSource`]: spin up `config.workers`
+    /// threads, each owning one device from a [`DevicePool`].
     ///
-    /// `corpus_id` must identify how `dataset` was generated (it keys the
-    /// result cache). `plans` may be passed by value or pre-shared as an
-    /// `Arc` (the `zeus-api` session layer shares its store with the
-    /// server it spawns). Returns a typed [`ServeError`] instead of
-    /// panicking on an unusable configuration or an empty corpus.
+    /// The corpus identity keying the result cache and plan store is the
+    /// source's content fingerprint ([`CorpusId::of`]), so two servers
+    /// over different corpora sharing one [`PlanStore`] can never reuse
+    /// or clobber each other's plans. `plans` may be passed by value or
+    /// pre-shared as an `Arc` (the `zeus-api` session layer shares its
+    /// store with the server it spawns). Returns a typed [`ServeError`]
+    /// instead of panicking on an unusable configuration or an empty
+    /// corpus.
     pub fn start(
-        dataset: &SyntheticDataset,
-        corpus_id: CorpusId,
+        source: &dyn DataSource,
         plans: impl Into<Arc<PlanStore>>,
         config: ServeConfig,
     ) -> Result<ZeusServer, ServeError> {
+        let name = source.name().to_string();
+        Self::start_as(source, name, plans, config)
+    }
+
+    /// [`ZeusServer::start`] with an explicit served-dataset name — the
+    /// name ZQL `FROM <name>` routing is checked against. Sessions pass
+    /// the *registered* name here, which may differ from the source's
+    /// own profile name (one corpus can be registered under several
+    /// aliases).
+    pub fn start_as(
+        source: &dyn DataSource,
+        name: impl Into<String>,
+        plans: impl Into<Arc<PlanStore>>,
+        config: ServeConfig,
+    ) -> Result<ZeusServer, ServeError> {
+        // Normalize the served name so it can actually match parsed
+        // `FROM` operands (the parser lowercases every routing name).
+        let name = zeus_video::source::normalize_name(&name.into())
+            .map_err(|e| ServeError::InvalidConfig(e.to_string()))?;
         if config.workers == 0 {
             return Err(ServeError::InvalidConfig("need at least one worker".into()));
         }
@@ -135,8 +157,9 @@ impl ZeusServer {
         if !servable(config.executor) {
             return Err(ServeError::NotServable(config.executor));
         }
-        let mut videos: Vec<_> = dataset
-            .store
+        let corpus_id = CorpusId::of(source);
+        let mut videos: Vec<_> = source
+            .store()
             .split(Split::Test)
             .into_iter()
             .cloned()
@@ -171,6 +194,7 @@ impl ZeusServer {
             plans: plans.into(),
             config,
             corpus: corpus_id,
+            dataset_name: name,
             cost,
             next_id: AtomicU64::new(0),
             handles: Mutex::new(handles),
@@ -186,6 +210,17 @@ impl ZeusServer {
     /// The active configuration.
     pub fn config(&self) -> &ServeConfig {
         &self.config
+    }
+
+    /// The corpus identity (content fingerprint) this server serves.
+    pub fn corpus_id(&self) -> CorpusId {
+        self.corpus
+    }
+
+    /// The registry name of the dataset this server serves. Queries with
+    /// a ZQL `FROM <other>` routing are refused at admission.
+    pub fn dataset_name(&self) -> &str {
+        &self.dataset_name
     }
 
     /// Submit with the server's default executor.
@@ -214,6 +249,14 @@ impl ZeusServer {
         ir: &QueryIr,
         priority: Option<Priority>,
     ) -> Result<ResponseStream, AdmitError> {
+        if let Some(requested) = &ir.source {
+            if requested != &self.dataset_name {
+                return Err(AdmitError::WrongDataset {
+                    requested: requested.clone(),
+                    serving: self.dataset_name.clone(),
+                });
+            }
+        }
         let priority = priority.unwrap_or_else(|| priority_for_budget(ir.latency_budget_ms));
         let stream = self.submit_with(ir.base.clone(), priority, self.config.executor)?;
         // Resolve the exclude-span map from the per-set cache so the
@@ -311,7 +354,7 @@ impl ZeusServer {
         }
 
         // 3. Plan resolution (never trains inline).
-        let stored = self.plans.get(&query).ok_or_else(|| {
+        let stored = self.plans.get(self.corpus, &query).ok_or_else(|| {
             self.shared.metrics.on_no_plan();
             AdmitError::NoPlan {
                 key: PlanCatalog::key(&query),

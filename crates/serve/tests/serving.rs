@@ -53,7 +53,7 @@ fn fixture() -> &'static Fixture {
 }
 
 fn corpus() -> CorpusId {
-    CorpusId::new(DatasetKind::Bdd100k, SCALE, SEED)
+    CorpusId::of(&fixture().dataset)
 }
 
 fn plan_store(templates: &[ActionQuery]) -> PlanStore {
@@ -61,7 +61,7 @@ fn plan_store(templates: &[ActionQuery]) -> PlanStore {
     for template in templates {
         let mut variant = fixture().stored.clone();
         variant.query = template.clone();
-        store.install_stored(variant);
+        store.install_stored(corpus(), variant);
     }
     store
 }
@@ -78,7 +78,6 @@ fn start_server(workers: usize, queue: usize, executor: ExecutorKind) -> ZeusSer
     let templates = templates();
     ZeusServer::start(
         &fixture().dataset,
-        corpus(),
         plan_store(&templates),
         ServeConfig {
             workers,

@@ -21,6 +21,12 @@
 //! * [`stats`] — recomputes Table 3 from a generated corpus.
 //! * [`segment`] — applies a `(resolution, segment length, sampling rate)`
 //!   configuration to extract model inputs, the executor's data path.
+//! * [`source`] — the pluggable data plane: the [`DataSource`] trait,
+//!   content fingerprints, and composite/filtered sources.
+//! * [`registry`] — the named [`DatasetRegistry`] behind ZQL
+//!   `FROM <dataset>` resolution.
+//! * [`zds`] — persistent corpora: the versioned, checksummed `.zds`
+//!   on-disk format.
 //!
 //! Determinism: a corpus is fully determined by `(DatasetKind, scale,
 //! seed)`; every frame of every video can be regenerated independently.
@@ -29,13 +35,19 @@
 pub mod annotation;
 pub mod datasets;
 pub mod frame;
+pub mod registry;
 pub mod scene;
 pub mod segment;
+pub mod source;
 pub mod stats;
 pub mod video;
+pub mod zds;
 
 pub use annotation::{ActionClass, ActionInterval};
-pub use datasets::{DatasetKind, SyntheticDataset};
+pub use datasets::{ConfigFamily, DatasetKind, DatasetProfile, SyntheticDataset};
 pub use frame::Frame;
+pub use registry::DatasetRegistry;
 pub use segment::{Segment, SegmentTensor};
+pub use source::{DataError, DataSource, SharedSource};
 pub use video::{Video, VideoId, VideoStore};
+pub use zds::{decode_dataset, encode_dataset};

@@ -196,6 +196,23 @@ impl VideoStore {
             .filter(|v| self.split_of(v.id) == split)
             .collect()
     }
+
+    /// Validate that every split is populated — the shared emptiness
+    /// check for sessions, planners, and registries (instead of each
+    /// layer re-deriving it ad hoc). Returns the first empty split as a
+    /// typed error.
+    pub fn validate_splits(&self) -> Result<(), crate::source::DataError> {
+        for (split, name) in [
+            (Split::Train, "train"),
+            (Split::Validation, "validation"),
+            (Split::Test, "test"),
+        ] {
+            if self.split(split).is_empty() {
+                return Err(crate::source::DataError::EmptySplit(name));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -21,8 +21,8 @@ fn main() -> Result<(), ZeusError> {
         .build()?;
     println!(
         "corpus: {} videos, {} frames",
-        session.dataset().store.len(),
-        session.dataset().store.total_frames()
+        session.source().store().len(),
+        session.source().store().total_frames()
     );
 
     // 2. The paper's §1 query in extended ZQL: rank the localized

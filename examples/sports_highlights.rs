@@ -27,8 +27,8 @@ fn main() -> Result<(), ZeusError> {
                WHERE action_class = 'pole-vault' AND accuracy >= 75%";
     println!(
         "Thumos14-like corpus: {} videos / {} frames; query: {}",
-        session.dataset().store.len(),
-        session.dataset().store.total_frames(),
+        session.source().store().len(),
+        session.source().store().total_frames(),
         session.query(zql)?.to_sql()
     );
 
@@ -70,9 +70,9 @@ fn main() -> Result<(), ZeusError> {
     // devices, reusing the session's trained plan (the full plan — the
     // engine set needs its profile table).
     let plan = session.query(zql)?.train()?;
-    let planner = QueryPlanner::new(session.dataset(), PlannerOptions::default());
+    let planner = QueryPlanner::new(session.source(), PlannerOptions::default());
     let engines = planner.build_engines(&plan);
-    let test = session.dataset().store.split(Split::Test);
+    let test = session.source().store().split(Split::Test);
     println!("\ninter-video parallelism (§6.4):");
     for workers in [1usize, 2, 4] {
         let par = execute_parallel(&engines.zeus_rl, &test, workers);

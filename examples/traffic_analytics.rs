@@ -19,8 +19,8 @@ fn main() -> Result<(), ZeusError> {
         .build()?;
     println!(
         "BDD100K-like corpus: {} videos / {} frames\n",
-        session.dataset().store.len(),
-        session.dataset().store.total_frames()
+        session.source().store().len(),
+        session.source().store().total_frames()
     );
 
     for class in ["cross-right", "left-turn"] {

@@ -47,5 +47,7 @@ pub mod prelude {
     pub use zeus_core::planner::{PlannerOptions, QueryPlanner};
     pub use zeus_core::query::ActionQuery;
     pub use zeus_serve::{CorpusId, PlanStore, Priority, ServeConfig, WorkloadSpec, ZeusServer};
-    pub use zeus_video::datasets::{DatasetKind, SyntheticDataset};
+    pub use zeus_video::datasets::{ConfigFamily, DatasetKind, DatasetProfile, SyntheticDataset};
+    pub use zeus_video::registry::DatasetRegistry;
+    pub use zeus_video::source::{DataError, DataSource, SharedSource};
 }

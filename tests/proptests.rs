@@ -7,20 +7,23 @@ use zeus::core::query::{parse_zql, ActionQuery, OrderBy, QueryIr};
 use zeus::sim::{CostModel, SimClock, SimDuration};
 use zeus::video::annotation::{interval_iou, runs_from_labels, smooth_labels};
 use zeus::video::segment::{sample_indices, Segment};
+use zeus::video::source::DataSource;
+use zeus::video::zds::{decode_dataset, encode_dataset};
 use zeus::video::{ActionClass, DatasetKind};
 
 proptest! {
     // ---------- ZQL dialect ----------
 
     /// `parse_zql(ir.to_sql()) == Ok(ir)` across the full extended
-    /// dialect: classes × exclusions × accuracy × LIMIT × WINDOW ×
-    /// latency budget × ORDER BY.
+    /// dialect: FROM routing × classes × exclusions × accuracy × LIMIT ×
+    /// WINDOW × latency budget × ORDER BY.
     #[test]
     fn extended_zql_roundtrips_through_to_sql(
         class_pick in 0usize..7,
         extra_pick in 0usize..8,     // 7 = no second class
         exclude_pick in 0usize..8,   // 7 = no exclusion
         acc_pct in 1usize..100,
+        source_pick in 0usize..7,    // 5-6 = unrouted (UDF(video))
         limit in 0usize..20,         // 0 = no LIMIT
         (t0, len, has_window) in (0usize..500, 1usize..500, any::<bool>()),
         (budget_ms, has_budget) in (1usize..10_000, any::<bool>()),
@@ -36,8 +39,12 @@ proptest! {
         } else {
             vec![]
         };
+        let source = DatasetKind::ALL
+            .get(source_pick)
+            .map(|k| k.registry_name().to_string());
         let ir = QueryIr {
             base: ActionQuery::multi(classes, acc_pct as f64 / 100.0).unwrap(),
+            source,
             exclude,
             window: has_window.then_some((t0, t0 + len)),
             limit: (limit > 0).then_some(limit),
@@ -209,6 +216,52 @@ proptest! {
                 prop_assert!(pair[0].end <= pair[1].start, "intervals must not overlap");
             }
         }
+    }
+
+    /// `.zds` persistence is lossless: decode(encode(ds)) reproduces the
+    /// corpus byte-for-byte (re-encoding is identical) and keeps its
+    /// plan/cache identity (fingerprint).
+    #[test]
+    fn zds_roundtrip_is_lossless(
+        seed in 0u64..30,
+        kind in prop::sample::select(DatasetKind::ALL.to_vec()),
+    ) {
+        let ds = kind.generate(0.03, seed);
+        let bytes = encode_dataset(&ds);
+        let back = decode_dataset(&bytes).expect("fresh encoding decodes");
+        prop_assert_eq!(&back.profile.name, &ds.profile.name);
+        prop_assert_eq!(back.profile.family, ds.profile.family);
+        prop_assert_eq!(&back.profile.query_classes, &ds.profile.query_classes);
+        prop_assert_eq!(back.store.len(), ds.store.len());
+        for (a, b) in ds.store.videos().iter().zip(back.store.videos()) {
+            prop_assert_eq!(a.id, b.id);
+            prop_assert_eq!(a.num_frames, b.num_frames);
+            prop_assert_eq!(a.seed, b.seed);
+            prop_assert_eq!(&a.intervals, &b.intervals);
+        }
+        prop_assert_eq!(ds.fingerprint(), back.fingerprint());
+        prop_assert_eq!(bytes, encode_dataset(&back), "re-encoding must be byte-identical");
+    }
+
+    /// `DatasetKind::generate(scale, seed)` is byte-identical across
+    /// runs: same encoded bytes, same fingerprint (fingerprint
+    /// stability), and any change to scale or seed changes both.
+    #[test]
+    fn generation_is_byte_identical_across_runs(
+        seed in 0u64..30,
+        kind in prop::sample::select(DatasetKind::ALL.to_vec()),
+    ) {
+        let a = kind.generate(0.03, seed);
+        let b = kind.generate(0.03, seed);
+        prop_assert_eq!(encode_dataset(&a), encode_dataset(&b));
+        prop_assert_eq!(a.fingerprint(), b.fingerprint());
+        let other_seed = kind.generate(0.03, seed + 1);
+        prop_assert_ne!(a.fingerprint(), other_seed.fingerprint());
+        // A scale large enough to change the video count for every kind
+        // (tiny scales clamp to the same 4-video floor, and identical
+        // content must keep an identical fingerprint).
+        let other_scale = kind.generate(0.2, seed);
+        prop_assert_ne!(a.fingerprint(), other_scale.fingerprint());
     }
 
     #[test]

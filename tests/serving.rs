@@ -29,11 +29,12 @@ fn serving_through_the_facade_matches_direct_execution() {
     let engines = planner.build_engines(&plan);
 
     let plans = PlanStore::in_memory();
-    plans.install(&plan, seed).expect("install");
+    plans
+        .install(CorpusId::of(&dataset), &plan, seed)
+        .expect("install");
 
     let server = ZeusServer::start(
         &dataset,
-        CorpusId::new(DatasetKind::Bdd100k, scale, seed),
         plans,
         ServeConfig {
             workers: 4,
@@ -94,11 +95,12 @@ fn open_loop_workload_reports_latency_percentiles() {
     let planner = QueryPlanner::new(&dataset, fast_options(seed));
     let plan = planner.plan(&query);
     let plans = PlanStore::in_memory();
-    plans.install(&plan, seed).expect("install");
+    plans
+        .install(CorpusId::of(&dataset), &plan, seed)
+        .expect("install");
 
     let server = ZeusServer::start(
         &dataset,
-        CorpusId::new(DatasetKind::Bdd100k, scale, seed),
         plans,
         ServeConfig {
             workers: 4,

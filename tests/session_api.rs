@@ -119,8 +119,8 @@ fn streaming_yields_per_video_and_short_circuits_on_limit() {
     assert_eq!(
         videos.len(),
         session()
-            .dataset()
-            .store
+            .source()
+            .store()
             .split(zeus::video::video::Split::Test)
             .len(),
         "unlimited stream covers the whole test split"
@@ -157,8 +157,8 @@ fn excluded_classes_are_subtracted_from_the_answer() {
         .unwrap();
     // No surviving segment may overlap a ground-truth cross-left span.
     let test = session()
-        .dataset()
-        .store
+        .source()
+        .store()
         .split(zeus::video::video::Split::Test);
     for hit in &excluded.answer {
         let video = test
