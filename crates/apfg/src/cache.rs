@@ -8,6 +8,7 @@
 //! the `parking_lot::RwLock`.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::RwLock;
 use zeus_video::{Video, VideoId};
@@ -21,6 +22,8 @@ type Key = (VideoId, usize, Configuration);
 #[derive(Debug, Default)]
 pub struct FeatureCache {
     map: RwLock<HashMap<Key, ApfgOutput>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl FeatureCache {
@@ -39,6 +42,29 @@ impl FeatureCache {
         self.map.read().is_empty()
     }
 
+    /// Lookups served from the cache since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to invoke the generator since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Hit fraction in `[0, 1]` (0 when no lookups happened) — the
+    /// training plane's measure of how much ProxyFeature recomputation
+    /// the shared cache absorbed across parallel rollouts.
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits() as f64;
+        let total = hits + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            hits / total
+        }
+    }
+
     /// Fetch the cached output or compute (and cache) it.
     pub fn get_or_compute(
         &self,
@@ -49,8 +75,10 @@ impl FeatureCache {
     ) -> ApfgOutput {
         let key = (video.id, start, config);
         if let Some(hit) = self.map.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let out = generator.process(video, start, config);
         self.map.write().insert(key, out.clone());
         out
@@ -163,11 +191,14 @@ mod tests {
         let cache = FeatureCache::new();
         let v = video();
         let c = Configuration::new(100, 4, 2);
+        assert_eq!(cache.hit_rate(), 0.0, "no lookups yet");
         let a = cache.get_or_compute(&gen, &v, 0, c);
         let b = cache.get_or_compute(&gen, &v, 0, c);
         assert_eq!(a, b);
         assert_eq!(gen.calls.load(Ordering::SeqCst), 1);
         assert_eq!(cache.len(), 1);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -145,6 +145,11 @@ mod tests {
                 "validation",
             ),
             (
+                ZeusError::Plan(PlanError::Env(zeus_core::env::EnvError::NoVideos)),
+                "planning error",
+                "training videos",
+            ),
+            (
                 ZeusError::Admit(AdmitError::QueueFull { capacity: 8 }),
                 "admission error",
                 "capacity 8",

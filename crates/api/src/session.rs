@@ -63,6 +63,8 @@ pub struct ZeusSessionBuilder {
     scale: f64,
     seed: u64,
     options: PlannerOptions,
+    train_workers: Option<usize>,
+    vec_envs: Option<usize>,
     catalog: Option<PathBuf>,
     executor: ExecutorKind,
 }
@@ -91,6 +93,8 @@ impl Default for ZeusSessionBuilder {
             scale: 0.2,
             seed: 2022,
             options: PlannerOptions::default(),
+            train_workers: None,
+            vec_envs: None,
             catalog: None,
             executor: ExecutorKind::ZeusRl,
         }
@@ -184,9 +188,28 @@ impl ZeusSessionBuilder {
 
     /// Planner options used for every query planned by the session.
     /// `options.seed` is overridden by the session seed at build time,
-    /// keeping corpus and planner seeds aligned.
+    /// keeping corpus and planner seeds aligned (likewise
+    /// [`Self::train_workers`] / [`Self::vec_envs`] override
+    /// `options.training`, so the knobs compose in any order).
     pub fn planner(mut self, options: PlannerOptions) -> Self {
         self.options = options;
+        self
+    }
+
+    /// Worker threads for the training plane's candidate portfolio
+    /// (`0` = one per available CPU). Trained plans are bit-identical
+    /// for any value; this only trades planning wall-clock for cores.
+    pub fn train_workers(mut self, workers: usize) -> Self {
+        self.train_workers = Some(workers);
+        self
+    }
+
+    /// Lockstep environments per candidate rollout (clamped to ≥ 1).
+    /// `1` (the default) reproduces the serial training dynamics
+    /// bit-for-bit; larger values batch Q-network forwards and update
+    /// once per lockstep round for higher training throughput.
+    pub fn vec_envs(mut self, envs: usize) -> Self {
+        self.vec_envs = Some(envs);
         self
     }
 
@@ -219,6 +242,12 @@ impl ZeusSessionBuilder {
         }
         let mut options = self.options;
         options.seed = self.seed;
+        if let Some(workers) = self.train_workers {
+            options.training.train_workers = workers;
+        }
+        if let Some(envs) = self.vec_envs {
+            options.training.vec_envs = envs.max(1);
+        }
         if self.sources.is_empty() {
             self.sources.push((
                 DatasetKind::Bdd100k.registry_name().to_string(),

@@ -757,6 +757,63 @@ pub fn extension_parallel(ctx: &ExperimentContext) -> ExperimentOutput {
     }
 }
 
+/// Extension: the vectorized training plane — training throughput of the
+/// legacy serial trainer vs the `TrainingEngine` at increasing lockstep
+/// environment counts, over one representative candidate job (the
+/// planner trains one of these per portfolio spec). The row set is
+/// gated on the fixed-seed equivalence invariant: the engine at
+/// `vec_envs = 1` must reproduce the serial policy bit-for-bit.
+pub fn extension_training(ctx: &ExperimentContext) -> ExperimentOutput {
+    use zeus_core::training::{bench_env, bench_training, CandidateJob};
+    use zeus_core::EvalProtocol;
+
+    let seed = ctx.seed;
+    let proto = bench_env(&ctx.dataset, seed).expect("experiment corpus has a training split");
+    // The context's trainer config sizes the workload (fast options in
+    // tests shrink it), capped at 3 episodes — the benchmark sweeps the
+    // job five times (serial + equivalence echo + 3 widths), so the
+    // planner's full 20-episode default would dominate the suite.
+    let mut base = ctx.options.trainer.clone();
+    base.episodes = base.episodes.min(3);
+    let job = CandidateJob::representative(
+        base,
+        EvalProtocol::for_family(ctx.dataset.family()),
+        ctx.query.target_accuracy,
+        seed,
+    );
+    let report = bench_training(&proto, &job, &[2, 4, 8]).expect("benchmark trains");
+
+    let mut rows = Vec::new();
+    let mut push_row = |s: &zeus_core::training::ThroughputSample, base: f64| {
+        rows.push(vec![
+            s.label.clone(),
+            format!("{}", s.steps),
+            format!("{}", s.updates),
+            format!("{:.0}", s.steps_per_sec),
+            format!("{:.2}x", s.steps_per_sec / base),
+        ]);
+    };
+    let base = report.serial.steps_per_sec;
+    push_row(&report.serial, base);
+    for s in &report.vectorized {
+        push_row(s, base);
+    }
+    let mut text = render(
+        "Extension — vectorized training plane (steps/s, one candidate)",
+        &["Configuration", "Steps", "Updates", "Steps/s", "Speedup"],
+        &rows,
+    );
+    text.push_str(&format!(
+        "\nfixed-seed serial equivalence at vec_envs = 1: {}; shared feature-cache hit rate {:.1}%\n",
+        if report.equivalent { "OK" } else { "FAILED" },
+        report.cache_hit_rate * 100.0,
+    ));
+    ExperimentOutput {
+        id: "extension-training".into(),
+        text,
+    }
+}
+
 /// Extension: the `zeus-serve` concurrent serving layer — the
 /// latency/throughput curve vs worker count that motivates the device
 /// pool. A closed-loop workload of distinct queries (one trained policy
@@ -889,6 +946,7 @@ pub fn run_all(fast: bool) -> Vec<ExperimentOutput> {
     outputs.push(fig12(cross_right));
     outputs.push(fig13(cross_right, left_turn));
     outputs.push(extension_parallel(cross_right));
+    outputs.push(extension_training(cross_right));
     outputs.push(extension_serving(cross_right));
 
     if !fast {
@@ -910,6 +968,34 @@ mod tests {
     use super::*;
     use zeus_core::query::ActionQuery;
     use zeus_rl::EpsilonSchedule;
+
+    #[test]
+    fn training_experiment_reports_speedup_and_equivalence() {
+        let mut options = PlannerOptions::default();
+        options.trainer.episodes = 1;
+        options.trainer.warmup = 64;
+        options.candidates.truncate(1);
+        let ctx = crate::harness::ExperimentContext::with_scale(
+            DatasetKind::Bdd100k,
+            vec![ActionClass::CrossRight],
+            0.85,
+            0.05,
+            options,
+        );
+        let out = extension_training(&ctx);
+        assert_eq!(out.id, "extension-training");
+        assert!(
+            out.text.contains("serial (legacy DqnTrainer)"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("vec_envs = 8"), "{}", out.text);
+        assert!(
+            out.text.contains("equivalence at vec_envs = 1: OK"),
+            "equivalence must hold:\n{}",
+            out.text
+        );
+    }
 
     #[test]
     fn serving_experiment_produces_the_scaling_table() {

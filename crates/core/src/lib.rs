@@ -17,6 +17,9 @@
 //!   (Figures 12b/14), and evaluated query results.
 //! * [`parallel`] — the inter-video parallel executor extension sketched
 //!   in §6.4.
+//! * [`training`] — the vectorized training plane: batched-inference
+//!   lockstep rollouts, portfolio training across device-pool workers,
+//!   and the training-throughput benchmark.
 
 #![warn(missing_docs)]
 pub mod baselines;
@@ -28,6 +31,7 @@ pub mod parallel;
 pub mod planner;
 pub mod query;
 pub mod result;
+pub mod training;
 
 pub use baselines::{ExecutorKind, QueryEngine};
 pub use catalog::{PlanCatalog, StoredPlan};
@@ -40,3 +44,6 @@ pub use planner::{
 pub use query::parse_query;
 pub use query::{parse_zql, ActionQuery, OrderBy, ParseError, QueryIr};
 pub use result::{ConfigHistogram, ExecutionResult, QueryResult};
+pub use training::{
+    CandidateJob, CandidateOutcome, PortfolioOutcome, TrainingEngine, TrainingOptions,
+};

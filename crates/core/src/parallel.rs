@@ -52,6 +52,12 @@ impl DevicePool {
         &self.devices
     }
 
+    /// Mutable access to the devices, in id order (each training-engine
+    /// worker thread owns one device and charges its simulated time).
+    pub fn devices_mut(&mut self) -> &mut [SimDevice] {
+        &mut self.devices
+    }
+
     /// Consume the pool, yielding its devices (the serve worker pool hands
     /// one device to each worker thread).
     pub fn into_devices(self) -> Vec<SimDevice> {

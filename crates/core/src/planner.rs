@@ -7,9 +7,9 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use zeus_apfg::frame_pp::FramePpModel;
 use zeus_apfg::segment_pp::SegmentPpFilter;
-use zeus_apfg::{Configuration, SimulatedApfg};
-use zeus_rl::agent::{DqnAgent, DqnConfig, GreedyPolicy};
-use zeus_rl::{DqnTrainer, EpsilonSchedule, RewardMode, TrainerConfig, TrainingReport};
+use zeus_apfg::{Configuration, FeatureCache, SimulatedApfg};
+use zeus_rl::agent::{DqnConfig, GreedyPolicy};
+use zeus_rl::{EpsilonSchedule, RewardMode, RlError, TrainerConfig, TrainingReport};
 use zeus_sim::{CostModel, DeviceProfile};
 use zeus_video::video::Split;
 use zeus_video::{DataSource, Video};
@@ -17,9 +17,10 @@ use zeus_video::{DataSource, Video};
 use crate::baselines::{ExecutorKind, QueryEngine};
 use crate::baselines::{FramePp, SegmentPp, ZeusHeuristic, ZeusRl, ZeusSliding};
 use crate::config::{ConfigSpace, KnobMask};
-use crate::env::VideoTraversalEnv;
+use crate::env::{EnvError, VideoTraversalEnv};
 use crate::metrics::EvalProtocol;
 use crate::query::{ActionQuery, QueryIr};
+use crate::training::{CandidateJob, TrainingEngine, TrainingOptions};
 
 /// Typed planning failures: everything that used to be an `assert!` on
 /// planner input is now a variant here.
@@ -32,6 +33,11 @@ pub enum PlanError {
     /// Planner options are unusable (e.g. `max_actions < 2`, no
     /// candidates).
     InvalidOptions(String),
+    /// The training environment could not be constructed.
+    Env(EnvError),
+    /// RL training failed with a typed error (e.g. a degenerate
+    /// minibatch configuration).
+    Train(RlError),
 }
 
 impl std::fmt::Display for PlanError {
@@ -42,11 +48,25 @@ impl std::fmt::Display for PlanError {
             }
             PlanError::EmptySpace => write!(f, "configuration space is empty after masking"),
             PlanError::InvalidOptions(s) => write!(f, "invalid planner options: {s}"),
+            PlanError::Env(e) => write!(f, "training environment: {e}"),
+            PlanError::Train(e) => write!(f, "RL training: {e}"),
         }
     }
 }
 
 impl std::error::Error for PlanError {}
+
+impl From<EnvError> for PlanError {
+    fn from(e: EnvError) -> Self {
+        PlanError::Env(e)
+    }
+}
+
+impl From<RlError> for PlanError {
+    fn from(e: RlError) -> Self {
+        PlanError::Train(e)
+    }
+}
 
 /// Temporal-IoU threshold of the §2.1 segment criterion (IoU > 0.5),
 /// used by the secondary event-level metric.
@@ -158,6 +178,11 @@ pub struct PlannerOptions {
     pub candidates: Vec<CandidateSpec>,
     /// Disable the §5 model-reuse optimization (per-config ensemble).
     pub per_config_ensemble: bool,
+    /// Vectorized training plane knobs: portfolio worker threads and
+    /// lockstep environments per candidate rollout. Results are
+    /// independent of `train_workers`; `vec_envs = 1` (the default)
+    /// reproduces the serial training dynamics bit-for-bit.
+    pub training: TrainingOptions,
     /// Base seed for the APFG noise process and RL training.
     pub seed: u64,
 }
@@ -185,6 +210,7 @@ impl Default for PlannerOptions {
             target_margin: 0.05,
             candidates: CandidateSpec::default_portfolio(),
             per_config_ensemble: false,
+            training: TrainingOptions::default(),
             seed: 7,
         }
     }
@@ -469,7 +495,12 @@ impl<'a> QueryPlanner<'a> {
         let frontier_configs: Vec<Configuration> = frontier.iter().map(|p| p.config).collect();
         let exec_space = space.restricted_to(&frontier_configs);
 
-        // 3. Train the RL agent on the training split.
+        // 3. Train the RL candidate portfolio on the training split —
+        // vectorized: candidates are scheduled across the training
+        // engine's device-pool workers, and each candidate's rollout
+        // steps `vec_envs` seeded environment forks in lockstep. A
+        // shared feature cache deduplicates APFG invocations across all
+        // of them (§5's pre-processing optimization applied on-line).
         let train_videos: Vec<Video> = self
             .source
             .store()
@@ -481,7 +512,7 @@ impl<'a> QueryPlanner<'a> {
         // β of Eq. 2: the mean fastness divides the space into fast/slow.
         let beta_cutoff = alphas.iter().sum::<f32>() / alphas.len().max(1) as f32;
         let init_config = exec_space.most_accurate();
-        let mut env = VideoTraversalEnv::new(
+        let proto = VideoTraversalEnv::new(
             train_videos,
             query.classes.clone(),
             Arc::new(apfg.clone()),
@@ -489,51 +520,61 @@ impl<'a> QueryPlanner<'a> {
             alphas,
             init_config,
             self.options.seed ^ 0x5EED,
-        );
+        )?
+        .with_cache(Arc::new(FeatureCache::new()));
 
-        // Train a small portfolio of candidate agents against the target
+        // A small portfolio of candidate reward specs against the target
         // plus varying safety margins — but never beyond what the profiled
         // space can achieve (an unreachable target turns every action
         // window into a sunk cost and the agent learns to ignore actions).
+        // Every candidate is fully seeded by its job, so the trained
+        // policies are bit-identical regardless of worker count.
+        let jobs: Vec<CandidateJob> = self
+            .options
+            .candidates
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let train_target = (query.target_accuracy + spec.margin)
+                    .min(max_accuracy - 0.02)
+                    .max(0.3);
+                let reward_mode = self.options.reward_mode.unwrap_or(RewardMode::Aggregate {
+                    target_accuracy: train_target,
+                    window_frames: protocol.window * self.options.window_multiple,
+                    eval_window: protocol.window,
+                    fastness_bonus: spec.fastness_bonus,
+                    fp_penalty: 2.0,
+                    deficit_scale: spec.deficit_scale,
+                    local_mix: spec.local_mix,
+                    beta: beta_cutoff,
+                });
+                let mut trainer_cfg = self.options.trainer.clone();
+                trainer_cfg.reward_mode = reward_mode;
+                trainer_cfg.seed = self.options.seed ^ (0xA9E17 + i as u64 * 0x9E37);
+                CandidateJob {
+                    trainer: trainer_cfg,
+                    dqn: self.options.dqn.clone(),
+                    dqn_seed: self.options.seed ^ (0xD097 + i as u64 * 0x51F3),
+                    env_seed: self.options.seed
+                        ^ 0x5EED
+                        ^ (i as u64).wrapping_mul(0xE14D_00B5_D5B5_C9E3),
+                }
+            })
+            .collect();
+        let engine = TrainingEngine::new(self.options.training);
+        let portfolio = engine.train_portfolio(&proto, &jobs, &self.cost)?;
+
         // The planner then selects by validation utility: among candidates
         // meeting the target, the fastest; otherwise the most accurate.
         // This is the planner-side counterpart of the paper's claim that
         // Zeus "consistently meets the user-specified accuracy target".
         let validation: Vec<&Video> = self.source.store().split(Split::Validation);
-        let mut best: Option<(GreedyPolicy, TrainingReport, f64, f64)> = None;
-        let mut trainer_cfg = self.options.trainer.clone();
-        for (i, spec) in self.options.candidates.iter().enumerate() {
-            let train_target = (query.target_accuracy + spec.margin)
-                .min(max_accuracy - 0.02)
-                .max(0.3);
-            let reward_mode = self.options.reward_mode.unwrap_or(RewardMode::Aggregate {
-                target_accuracy: train_target,
-                window_frames: protocol.window * self.options.window_multiple,
-                eval_window: protocol.window,
-                fastness_bonus: spec.fastness_bonus,
-                fp_penalty: 2.0,
-                deficit_scale: spec.deficit_scale,
-                local_mix: spec.local_mix,
-                beta: beta_cutoff,
-            });
-            trainer_cfg = self.options.trainer.clone();
-            trainer_cfg.reward_mode = reward_mode;
-            trainer_cfg.seed = self.options.seed ^ (0xA9E17 + i as u64 * 0x9E37);
-
-            let agent = DqnAgent::new(
-                zeus_apfg::FEATURE_DIM,
-                exec_space.len(),
-                self.options.dqn.clone(),
-                self.options.seed ^ (0xD097 + i as u64 * 0x51F3),
-            );
-            let mut trainer = DqnTrainer::new(agent, trainer_cfg.clone());
-            let report = trainer.train(&mut env);
-            let policy = trainer.into_agent().policy();
-
+        let mut best: Option<(usize, f64, f64)> = None;
+        for (i, outcome) in portfolio.candidates.iter().enumerate() {
             // Validation utility of this candidate.
             let engine = ZeusRl::new(
                 apfg.clone(),
-                policy.clone(),
+                outcome.policy.clone(),
                 exec_space.clone(),
                 init_config,
                 self.cost.clone(),
@@ -543,6 +584,7 @@ impl<'a> QueryPlanner<'a> {
             let f1 = val_report.f1_lower_bound(1.0);
             let fps = exec.throughput();
             if std::env::var_os("ZEUS_DEBUG_CANDIDATES").is_some() {
+                let spec = &self.options.candidates[i];
                 eprintln!(
                     "  candidate {i} (margin {:.2} bonus {:.2} deficit {:.1}): val F1 {f1:.3} @ {fps:.0} fps",
                     spec.margin, spec.fastness_bonus, spec.deficit_scale
@@ -550,7 +592,7 @@ impl<'a> QueryPlanner<'a> {
             }
             let better = match &best {
                 None => true,
-                Some((_, _, bf1, bfps)) => {
+                Some((_, bf1, bfps)) => {
                     let meets = f1 >= query.target_accuracy;
                     let best_meets = *bf1 >= query.target_accuracy;
                     match (meets, best_meets) {
@@ -562,13 +604,15 @@ impl<'a> QueryPlanner<'a> {
                 }
             };
             if better {
-                best = Some((policy, report, f1, fps));
+                best = Some((i, f1, fps));
             }
         }
-        let (policy, training_report, _, _) = best.expect("at least one candidate");
+        let (chosen, _, _) = best.expect("at least one candidate");
+        let policy = portfolio.candidates[chosen].policy.clone();
+        let training_report = portfolio.candidates[chosen].report.clone();
 
         // 4. Simulated training costs (Table 6).
-        let costs = self.training_costs(&space, &training_report, &trainer_cfg);
+        let costs = self.training_costs(&space, &training_report, &jobs[chosen].trainer);
 
         Ok(QueryPlan {
             query: query.clone(),
@@ -633,15 +677,14 @@ impl<'a> QueryPlanner<'a> {
             .as_secs();
         let frame_pp_training_secs = FRAME_PP_TRAIN_SAMPLES * frame_pass;
 
-        let updates = report.updates as f64;
-        let steps = report.steps as f64;
-        let rl_training_secs = updates * self.cost.dqn_update(trainer_cfg.batch_size).as_secs()
-            + steps * self.cost.mlp_head().as_secs() * 2.0;
-
         TrainingCosts {
             apfg_training_secs,
             frame_pp_training_secs,
-            rl_training_secs,
+            rl_training_secs: crate::training::rl_training_secs(
+                &self.cost,
+                report,
+                trainer_cfg.batch_size,
+            ),
         }
     }
 

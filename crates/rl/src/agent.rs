@@ -7,6 +7,7 @@ use zeus_nn::loss;
 use zeus_nn::optim::{clip_grad_norm, Adam, Optimizer};
 use zeus_nn::{Activation, Mlp, Tensor};
 
+use crate::error::RlError;
 use crate::replay::Experience;
 
 /// Agent hyperparameters. Paper values (§5): a 3-FC-layer MLP Q-network,
@@ -108,10 +109,27 @@ impl DqnAgent {
         self.q.forward_inference(&x).into_vec()
     }
 
+    /// Q-values for a batch of states: one `[n, d]` forward instead of
+    /// `n` scalar forwards. Returns the `[n, num_actions]` tensor
+    /// (shape `[0, num_actions]` for an empty batch).
+    pub fn q_values_batch(&self, states: &[&[f32]]) -> Tensor {
+        if states.is_empty() {
+            return Tensor::zeros(&[0, self.num_actions]);
+        }
+        self.q.forward_inference(&Tensor::from_rows(states))
+    }
+
     /// Greedy action: `argmax(φ(state))` (Algorithm 1 line 6).
     pub fn greedy_action(&self, state: &[f32]) -> usize {
         let q = self.q_values(state);
         Tensor::vector(q).argmax()
+    }
+
+    /// Batched greedy actions: per-row argmax over one `[n, d]` forward.
+    /// This is the vectorized rollout's replacement for `n` calls to
+    /// [`DqnAgent::greedy_action`].
+    pub fn act_batch(&self, states: &[&[f32]]) -> Vec<usize> {
+        self.q_values_batch(states).argmax_rows()
     }
 
     /// ε-greedy action selection.
@@ -123,19 +141,54 @@ impl DqnAgent {
         }
     }
 
+    /// Batched ε-greedy selection: the greedy candidates come from one
+    /// batched forward, then each row draws its exploration coin in row
+    /// order. The network forward consumes no randomness, so with one
+    /// state this draws the agent RNG in exactly the order
+    /// [`DqnAgent::select_action`] does — the bit-equivalence hook of the
+    /// vectorized trainer.
+    pub fn select_actions_batch(&mut self, states: &[&[f32]], epsilon: f64) -> Vec<usize> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        let greedy = self.act_batch(states);
+        greedy
+            .into_iter()
+            .map(|g| {
+                if self.rng.gen::<f64>() < epsilon {
+                    self.rng.gen_range(0..self.num_actions)
+                } else {
+                    g
+                }
+            })
+            .collect()
+    }
+
     /// One DQN update over a minibatch (Algorithm 1 lines 11–14):
     /// targets `r + γ·max_a' Q_target(s', a')` (or `r` at terminals),
     /// masked Huber loss, Adam step, periodic target sync. Returns the
-    /// loss.
-    pub fn update(&mut self, batch: &[&Experience]) -> f32 {
-        assert!(!batch.is_empty(), "empty minibatch");
+    /// loss, or a typed error on an empty or mis-shaped minibatch.
+    pub fn update(&mut self, batch: &[&Experience]) -> Result<f32, RlError> {
+        if batch.is_empty() {
+            return Err(RlError::EmptyBatch);
+        }
         let state_dim = self.q.in_dim();
         let n = batch.len();
 
         let mut states = Vec::with_capacity(n * state_dim);
         let mut next_states = Vec::with_capacity(n * state_dim);
         for e in batch {
-            assert_eq!(e.state.len(), state_dim, "state dim mismatch");
+            if e.state.len() != state_dim || e.next_state.len() != state_dim {
+                let got = if e.state.len() != state_dim {
+                    e.state.len()
+                } else {
+                    e.next_state.len()
+                };
+                return Err(RlError::StateDimMismatch {
+                    expected: state_dim,
+                    got,
+                });
+            }
             states.extend_from_slice(&e.state);
             next_states.extend_from_slice(&e.next_state);
         }
@@ -182,7 +235,7 @@ impl DqnAgent {
         if self.updates.is_multiple_of(self.cfg.target_sync_every) {
             self.target.copy_weights_from(&self.q);
         }
-        loss
+        Ok(loss)
     }
 
     /// Force a target-network sync.
@@ -223,6 +276,16 @@ impl GreedyPolicy {
         self.net.forward_inference(&x).argmax()
     }
 
+    /// Greedy actions for a batch of states via one `[n, d]` forward.
+    pub fn act_batch(&self, states: &[&[f32]]) -> Vec<usize> {
+        if states.is_empty() {
+            return Vec::new();
+        }
+        self.net
+            .forward_inference(&Tensor::from_rows(states))
+            .argmax_rows()
+    }
+
     /// Serialize the policy network to bytes (Zeus checkpoint format).
     pub fn to_bytes(&self) -> Vec<u8> {
         zeus_nn::serialize::encode(&self.net.snapshot())
@@ -261,6 +324,63 @@ mod tests {
     fn q_values_shape() {
         let a = DqnAgent::new(4, 3, DqnConfig::default(), 0);
         assert_eq!(a.q_values(&[0.0; 4]).len(), 3);
+    }
+
+    #[test]
+    fn batched_inference_matches_scalar() {
+        let a = DqnAgent::new(3, 4, DqnConfig::default(), 9);
+        let states: Vec<Vec<f32>> = (0..5)
+            .map(|i| vec![i as f32 * 0.2, -0.4, 0.7 - i as f32 * 0.1])
+            .collect();
+        let rows: Vec<&[f32]> = states.iter().map(Vec::as_slice).collect();
+        let q = a.q_values_batch(&rows);
+        assert_eq!(q.shape(), &[5, 4]);
+        let acts = a.act_batch(&rows);
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(q.row(i), a.q_values(s).as_slice(), "row {i}");
+            assert_eq!(acts[i], a.greedy_action(s), "row {i}");
+        }
+        // The policy's batch path agrees too.
+        let p = a.policy();
+        assert_eq!(p.act_batch(&rows), acts);
+        assert!(p.act_batch(&[]).is_empty());
+        // Empty batches are well-defined everywhere, not a panic.
+        assert!(a.act_batch(&[]).is_empty());
+        assert_eq!(a.q_values_batch(&[]).shape(), &[0, 4]);
+    }
+
+    #[test]
+    fn batched_selection_draws_rng_like_scalar() {
+        // With ε = 0 no coins matter; with the same seed, batched and
+        // scalar selection must agree action-for-action, and a fresh twin
+        // consuming coins one row at a time must reproduce the batched
+        // draw order at any ε.
+        let mut a = DqnAgent::new(2, 3, DqnConfig::default(), 4);
+        let mut b = DqnAgent::new(2, 3, DqnConfig::default(), 4);
+        let states = [[0.1f32, 0.9], [0.8, 0.2], [0.5, 0.5]];
+        let rows: Vec<&[f32]> = states.iter().map(|s| s.as_slice()).collect();
+        for eps in [0.0, 0.6, 1.0] {
+            let batched = a.select_actions_batch(&rows, eps);
+            let scalar: Vec<usize> = states.iter().map(|s| b.select_action(s, eps)).collect();
+            assert_eq!(batched, scalar, "eps {eps}");
+        }
+        assert!(a.select_actions_batch(&[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn update_rejects_bad_batches_with_typed_errors() {
+        use crate::error::RlError;
+        let mut a = DqnAgent::new(2, 2, DqnConfig::default(), 0);
+        assert_eq!(a.update(&[]), Err(RlError::EmptyBatch));
+        let bad = exp(vec![0.0; 3], 0, 0.0, vec![0.0; 3], true);
+        assert_eq!(
+            a.update(&[&bad]),
+            Err(RlError::StateDimMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+        assert_eq!(a.updates(), 0, "failed updates must not advance state");
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Typed failures of the RL training path.
+//!
+//! Everything that used to be an `assert!` on trainer/agent input
+//! reachable from user configuration is a variant here, so the training
+//! plane composes with the workspace-wide no-panic policy (`zeus-api`'s
+//! `ZeusError` wraps these via `zeus-core`'s `PlanError`).
+
+/// A typed training-path failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RlError {
+    /// An update was requested over an empty minibatch (replay empty or
+    /// `batch_size == 0`).
+    EmptyBatch,
+    /// An experience's state dimensionality does not match the network.
+    StateDimMismatch {
+        /// The network's input dimension.
+        expected: usize,
+        /// The offending experience's state length.
+        got: usize,
+    },
+    /// A [`crate::VecEnv`] was constructed with no environments.
+    NoEnvironments,
+    /// The environments of a [`crate::VecEnv`] disagree on their MDP
+    /// shape (state dimension, action count, or fastness values).
+    MixedEnvironments(String),
+}
+
+impl std::fmt::Display for RlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RlError::EmptyBatch => write!(f, "empty minibatch: nothing to update on"),
+            RlError::StateDimMismatch { expected, got } => {
+                write!(
+                    f,
+                    "state dim mismatch: network expects {expected}, got {got}"
+                )
+            }
+            RlError::NoEnvironments => write!(f, "vectorized environment needs at least one env"),
+            RlError::MixedEnvironments(detail) => {
+                write!(f, "environments disagree on MDP shape: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_detail() {
+        assert!(RlError::EmptyBatch.to_string().contains("minibatch"));
+        assert!(RlError::StateDimMismatch {
+            expected: 24,
+            got: 3
+        }
+        .to_string()
+        .contains("24"));
+        assert!(RlError::NoEnvironments.to_string().contains("at least one"));
+        assert!(RlError::MixedEnvironments("state_dim 2 vs 3".into())
+            .to_string()
+            .contains("state_dim 2 vs 3"));
+    }
+}

@@ -1,5 +1,5 @@
 //! The training loop: Algorithm 1 with the delayed aggregate-reward replay
-//! update of §4.6.
+//! update of §4.6, in two gears.
 //!
 //! "During the processing of the current aggregation window, the query
 //! planner uses Algorithm 1 to collect the incomplete experience tuples
@@ -7,15 +7,26 @@
 //! agent updates the experience tuples in the temporary buffer with the
 //! rewards collected using Algorithm 2. Zeus then pushes the updated
 //! experience tuples to the replay buffer."
+//!
+//! [`DqnTrainer::train`] is the serial loop: one environment, one
+//! `[1, d]` Q-network forward per step. [`DqnTrainer::train_vec`] is the
+//! vectorized loop: N seeded environments stepped in lockstep, all N
+//! ε-greedy actions chosen with *one* batched forward, and one gradient
+//! update per lockstep round. With `N = 1` the vectorized loop performs
+//! bit-for-bit the same RNG draws, replay pushes, and updates as the
+//! serial loop on a fresh trainer — the equivalence the training plane's
+//! determinism tests pin down.
 
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::agent::DqnAgent;
-use crate::env::Environment;
+use crate::env::{Environment, Transition};
+use crate::error::RlError;
 use crate::replay::{Experience, ReplayBuffer};
 use crate::reward::{aggregate_reward_scaled, local_reward, window_outcome, RewardMode};
+use crate::vec_env::VecEnv;
 
 use crate::schedule::EpsilonSchedule;
 
@@ -25,7 +36,9 @@ use crate::schedule::EpsilonSchedule;
 /// `TrainerConfig::paper()` restores the published constants.
 #[derive(Debug, Clone)]
 pub struct TrainerConfig {
-    /// Number of training episodes T (Algorithm 1).
+    /// Number of training episodes T (Algorithm 1). In the vectorized
+    /// loop this is the *total* episode budget, distributed across the
+    /// environments.
     pub episodes: usize,
     /// Replay buffer capacity.
     pub replay_capacity: usize,
@@ -34,7 +47,10 @@ pub struct TrainerConfig {
     pub warmup: usize,
     /// Minibatch size per update.
     pub batch_size: usize,
-    /// Environment steps between gradient updates.
+    /// Environment steps between gradient updates. The vectorized loop
+    /// counts lockstep *rounds* (N environment steps each) instead, the
+    /// standard vectorized-rollout cadence; with one environment a round
+    /// is one step and the two cadences coincide.
     pub update_every: usize,
     /// Exploration schedule.
     pub epsilon: EpsilonSchedule,
@@ -88,11 +104,12 @@ impl TrainerConfig {
 }
 
 /// Summary of a training run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrainingReport {
-    /// Mean per-decision reward of each episode.
+    /// Mean per-decision reward of each episode, indexed by episode.
     pub episode_rewards: Vec<f32>,
-    /// Mean TD loss of each episode (0 when no updates ran).
+    /// Mean TD loss of each episode (0 when no updates ran while the
+    /// episode was active).
     pub episode_losses: Vec<f32>,
     /// Total environment steps.
     pub steps: u64,
@@ -101,6 +118,23 @@ pub struct TrainingReport {
 }
 
 impl TrainingReport {
+    /// Bit-exact equality: reward/loss vectors compare by `f32` bit
+    /// pattern, so two runs that produced the *same* NaN still compare
+    /// equal (derived `PartialEq` would report them unequal). This is
+    /// what equivalence gates should use.
+    pub fn bit_eq(&self, other: &TrainingReport) -> bool {
+        let bits_eq = |a: &[f32], b: &[f32]| {
+            a.len() == b.len()
+                && a.iter()
+                    .zip(b.iter())
+                    .all(|(x, y)| x.to_bits() == y.to_bits())
+        };
+        self.steps == other.steps
+            && self.updates == other.updates
+            && bits_eq(&self.episode_rewards, &other.episode_rewards)
+            && bits_eq(&self.episode_losses, &other.episode_losses)
+    }
+
     /// Mean reward over the last quarter of episodes (convergence probe).
     pub fn final_reward(&self) -> f32 {
         if self.episode_rewards.is_empty() {
@@ -120,6 +154,147 @@ struct Pending {
     done: bool,
     alpha: f32,
     has_action: bool,
+}
+
+/// Per-episode accumulator: reward/loss statistics plus the §4.6
+/// temporary window buffer. Shared by the serial and vectorized loops so
+/// the two reward paths cannot drift apart.
+struct EpisodeAccum {
+    reward_sum: f32,
+    reward_count: u32,
+    loss_sum: f32,
+    loss_count: u32,
+    pending: Vec<Pending>,
+    window_gt: Vec<bool>,
+    window_pred: Vec<bool>,
+    window_alpha: f32,
+    alpha_max: f32,
+}
+
+impl EpisodeAccum {
+    fn new(alpha_max: f32) -> Self {
+        EpisodeAccum {
+            reward_sum: 0.0,
+            reward_count: 0,
+            loss_sum: 0.0,
+            loss_count: 0,
+            pending: Vec::new(),
+            window_gt: Vec::new(),
+            window_pred: Vec::new(),
+            window_alpha: 0.0,
+            alpha_max,
+        }
+    }
+
+    fn note_loss(&mut self, loss: f32) {
+        self.loss_sum += loss;
+        self.loss_count += 1;
+    }
+
+    fn mean_reward(&self) -> f32 {
+        if self.reward_count == 0 {
+            0.0
+        } else {
+            self.reward_sum / self.reward_count as f32
+        }
+    }
+
+    fn mean_loss(&self) -> f32 {
+        if self.loss_count == 0 {
+            0.0
+        } else {
+            self.loss_sum / self.loss_count as f32
+        }
+    }
+
+    /// Absorb one transition under `mode`, returning the experiences that
+    /// become pushable now — immediately in local mode, or the whole
+    /// flushed window (Algorithm 2's delayed update) in aggregate mode —
+    /// each tagged with its action-window flag for stratified replay.
+    fn absorb(&mut self, mode: RewardMode, t: &Transition) -> Vec<(Experience, bool)> {
+        match mode {
+            RewardMode::Local { beta } => {
+                let has_action = t.has_action();
+                let r = local_reward(t.alpha, beta, has_action);
+                self.reward_sum += r;
+                self.reward_count += 1;
+                vec![(
+                    Experience {
+                        state: t.state.clone(),
+                        action: t.action,
+                        reward: r,
+                        next_state: t.next_state.clone(),
+                        done: t.done,
+                    },
+                    has_action,
+                )]
+            }
+            RewardMode::Aggregate {
+                target_accuracy,
+                window_frames,
+                eval_window,
+                fastness_bonus,
+                fp_penalty,
+                deficit_scale,
+                local_mix,
+                beta,
+            } => {
+                self.pending.push(Pending {
+                    state: t.state.clone(),
+                    action: t.action,
+                    next_state: t.next_state.clone(),
+                    done: t.done,
+                    alpha: t.alpha,
+                    has_action: t.has_action(),
+                });
+                self.window_alpha += t.alpha * t.span_len() as f32;
+                self.window_gt.extend_from_slice(&t.gt);
+                self.window_pred.extend_from_slice(&t.pred);
+                if self.window_gt.len() < window_frames && !t.done {
+                    return Vec::new();
+                }
+                let outcome = window_outcome(&self.window_gt, &self.window_pred, eval_window);
+                let action_window = outcome.accuracy.is_some();
+                let r = match outcome.accuracy {
+                    Some(acc) => aggregate_reward_scaled(acc, target_accuracy, deficit_scale),
+                    None => {
+                        let mean_alpha = self.window_alpha / self.window_gt.len().max(1) as f32;
+                        fastness_bonus * (mean_alpha / self.alpha_max)
+                            - fp_penalty * outcome.fp_fraction as f32
+                    }
+                };
+                let pending = std::mem::take(&mut self.pending);
+                let mut out = Vec::with_capacity(pending.len());
+                for p in pending {
+                    let r_i = r + local_mix * local_reward(p.alpha, beta, p.has_action);
+                    self.reward_sum += r_i;
+                    self.reward_count += 1;
+                    out.push((
+                        Experience {
+                            state: p.state,
+                            action: p.action,
+                            reward: r_i,
+                            next_state: p.next_state,
+                            done: p.done,
+                        },
+                        action_window,
+                    ));
+                }
+                self.window_gt.clear();
+                self.window_pred.clear();
+                self.window_alpha = 0.0;
+                out
+            }
+        }
+    }
+}
+
+/// One environment's slot in the vectorized loop: which global episode it
+/// is running, its current state, and its episode accumulator.
+struct EnvSlot {
+    episode: usize,
+    state: Vec<f32>,
+    acc: EpisodeAccum,
 }
 
 /// The DQN trainer.
@@ -163,6 +338,11 @@ impl DqnTrainer {
 
     fn sample_batch(&mut self) -> Vec<Experience> {
         let want = self.cfg.batch_size.min(self.replay_len());
+        if want == 0 {
+            // Empty replay or batch_size 0: surfaces as a typed
+            // RlError::EmptyBatch from the agent instead of a panic.
+            return Vec::new();
+        }
         if !self.cfg.stratify || self.replay_action.is_empty() {
             return self
                 .replay
@@ -195,6 +375,24 @@ impl DqnTrainer {
         batch
     }
 
+    /// Sample a minibatch and apply one gradient update, returning the
+    /// loss. Shared by both loops so cadence is the only difference.
+    fn update_once(&mut self) -> Result<f32, RlError> {
+        let batch = self.sample_batch();
+        let refs: Vec<&Experience> = batch.iter().collect();
+        self.agent.update(&refs)
+    }
+
+    /// The exploration rate for the current step: uniform-random during
+    /// warm-up fill, the schedule afterwards.
+    fn current_epsilon(&self) -> f64 {
+        if self.replay_len() < self.cfg.warmup {
+            1.0
+        } else {
+            self.cfg.epsilon.value(self.global_step)
+        }
+    }
+
     /// Consume the trainer, returning the trained agent.
     pub fn into_agent(self) -> DqnAgent {
         self.agent
@@ -205,117 +403,36 @@ impl DqnTrainer {
         &self.agent
     }
 
-    /// Run the full training loop over `env`.
-    pub fn train(&mut self, env: &mut dyn Environment) -> TrainingReport {
+    /// Run the full serial training loop over `env`.
+    pub fn train(&mut self, env: &mut dyn Environment) -> Result<TrainingReport, RlError> {
         let mut report = TrainingReport::default();
         for _ in 0..self.cfg.episodes {
-            let (mean_r, mean_l) = self.run_episode(env, &mut report);
+            let (mean_r, mean_l) = self.run_episode(env, &mut report)?;
             report.episode_rewards.push(mean_r);
             report.episode_losses.push(mean_l);
         }
-        report
+        Ok(report)
     }
 
     fn run_episode(
         &mut self,
         env: &mut dyn Environment,
         report: &mut TrainingReport,
-    ) -> (f32, f32) {
+    ) -> Result<(f32, f32), RlError> {
         let mut state = env.reset();
-        let mut reward_sum = 0.0f32;
-        let mut reward_count = 0u32;
-        let mut loss_sum = 0.0f32;
-        let mut loss_count = 0u32;
-
-        // Aggregate-mode window accumulators (the temporary buffer).
-        let mut pending: Vec<Pending> = Vec::new();
-        let mut window_gt: Vec<bool> = Vec::new();
-        let mut window_pred: Vec<bool> = Vec::new();
-        let mut window_alpha = 0.0f32; // frame-weighted fastness
         let alpha_max = env.alphas().iter().fold(0.0f32, |a, &b| a.max(b)).max(1e-9);
+        let mut acc = EpisodeAccum::new(alpha_max);
+        let mode = self.cfg.reward_mode;
 
         loop {
-            let eps = if self.replay_len() < self.cfg.warmup {
-                1.0 // uniform-random warm-up fill
-            } else {
-                self.cfg.epsilon.value(self.global_step)
-            };
+            let eps = self.current_epsilon();
             let action = self.agent.select_action(&state, eps);
             let t = env.step(action);
             self.global_step += 1;
             report.steps += 1;
 
-            match self.cfg.reward_mode {
-                RewardMode::Local { beta } => {
-                    let has_action = t.has_action();
-                    let r = local_reward(t.alpha, beta, has_action);
-                    reward_sum += r;
-                    reward_count += 1;
-                    self.push_experience(
-                        Experience {
-                            state: t.state.clone(),
-                            action: t.action,
-                            reward: r,
-                            next_state: t.next_state.clone(),
-                            done: t.done,
-                        },
-                        has_action,
-                    );
-                }
-                RewardMode::Aggregate {
-                    target_accuracy,
-                    window_frames,
-                    eval_window,
-                    fastness_bonus,
-                    fp_penalty,
-                    deficit_scale,
-                    local_mix,
-                    beta,
-                } => {
-                    pending.push(Pending {
-                        state: t.state.clone(),
-                        action: t.action,
-                        next_state: t.next_state.clone(),
-                        done: t.done,
-                        alpha: t.alpha,
-                        has_action: t.has_action(),
-                    });
-                    window_alpha += t.alpha * t.span_len() as f32;
-                    window_gt.extend_from_slice(&t.gt);
-                    window_pred.extend_from_slice(&t.pred);
-                    if window_gt.len() >= window_frames || t.done {
-                        let outcome = window_outcome(&window_gt, &window_pred, eval_window);
-                        let action_window = outcome.accuracy.is_some();
-                        let r = match outcome.accuracy {
-                            Some(acc) => {
-                                aggregate_reward_scaled(acc, target_accuracy, deficit_scale)
-                            }
-                            None => {
-                                let mean_alpha = window_alpha / window_gt.len().max(1) as f32;
-                                fastness_bonus * (mean_alpha / alpha_max)
-                                    - fp_penalty * outcome.fp_fraction as f32
-                            }
-                        };
-                        for p in pending.drain(..) {
-                            let r_i = r + local_mix * local_reward(p.alpha, beta, p.has_action);
-                            reward_sum += r_i;
-                            reward_count += 1;
-                            self.push_experience(
-                                Experience {
-                                    state: p.state,
-                                    action: p.action,
-                                    reward: r_i,
-                                    next_state: p.next_state,
-                                    done: p.done,
-                                },
-                                action_window,
-                            );
-                        }
-                        window_gt.clear();
-                        window_pred.clear();
-                        window_alpha = 0.0;
-                    }
-                }
+            for (e, action_window) in acc.absorb(mode, &t) {
+                self.push_experience(e, action_window);
             }
 
             if self.replay_len() >= self.cfg.warmup
@@ -323,11 +440,8 @@ impl DqnTrainer {
                     .global_step
                     .is_multiple_of(self.cfg.update_every as u64)
             {
-                let batch = self.sample_batch();
-                let refs: Vec<&Experience> = batch.iter().collect();
-                let loss = self.agent.update(&refs);
-                loss_sum += loss;
-                loss_count += 1;
+                let loss = self.update_once()?;
+                acc.note_loss(loss);
                 report.updates += 1;
             }
 
@@ -337,18 +451,121 @@ impl DqnTrainer {
             }
         }
 
-        (
-            if reward_count == 0 {
-                0.0
+        Ok((acc.mean_reward(), acc.mean_loss()))
+    }
+
+    /// Run the full training loop over N lockstep environments.
+    ///
+    /// Each round selects one ε-greedy action per live environment with a
+    /// single batched `[n, d]` forward, steps every environment, and then
+    /// performs at most one gradient update (`update_every` counts rounds
+    /// here). The total episode budget `cfg.episodes` is distributed
+    /// dynamically: whenever an environment finishes its episode it picks
+    /// up the next unstarted episode index, and the report's per-episode
+    /// vectors are ordered by that global index.
+    ///
+    /// **Equivalence guarantee:** on a fresh trainer, `train_vec` over a
+    /// single environment performs exactly the same RNG draws, replay
+    /// pushes, and gradient updates as [`DqnTrainer::train`] over that
+    /// environment, so the resulting policy and [`TrainingReport`] are
+    /// bit-identical.
+    pub fn train_vec(&mut self, venv: &mut VecEnv) -> Result<TrainingReport, RlError> {
+        let episodes = self.cfg.episodes;
+        let mut report = TrainingReport {
+            episode_rewards: vec![0.0; episodes],
+            episode_losses: vec![0.0; episodes],
+            ..TrainingReport::default()
+        };
+        let alpha_max = venv
+            .alphas()
+            .iter()
+            .fold(0.0f32, |a, &b| a.max(b))
+            .max(1e-9);
+        let mode = self.cfg.reward_mode;
+
+        // Hand out the first wave of episodes, one per environment.
+        let mut next_episode = 0usize;
+        let mut slots: Vec<Option<EnvSlot>> = Vec::with_capacity(venv.len());
+        for i in 0..venv.len() {
+            if next_episode < episodes {
+                let state = venv.reset(i);
+                slots.push(Some(EnvSlot {
+                    episode: next_episode,
+                    state,
+                    acc: EpisodeAccum::new(alpha_max),
+                }));
+                next_episode += 1;
             } else {
-                reward_sum / reward_count as f32
-            },
-            if loss_count == 0 {
-                0.0
-            } else {
-                loss_sum / loss_count as f32
-            },
-        )
+                slots.push(None);
+            }
+        }
+
+        let mut rounds: u64 = 0;
+        let mut finished: Vec<usize> = Vec::new();
+        while slots.iter().any(Option::is_some) {
+            rounds += 1;
+            let eps = self.current_epsilon();
+
+            // One batched forward selects every live environment's action.
+            let (live, actions) = {
+                let mut live = Vec::new();
+                let mut states: Vec<&[f32]> = Vec::new();
+                for (i, slot) in slots.iter().enumerate() {
+                    if let Some(s) = slot {
+                        live.push(i);
+                        states.push(s.state.as_slice());
+                    }
+                }
+                let actions = self.agent.select_actions_batch(&states, eps);
+                (live, actions)
+            };
+
+            finished.clear();
+            for (&i, &action) in live.iter().zip(&actions) {
+                let t = venv.step(i, action);
+                self.global_step += 1;
+                report.steps += 1;
+                let slot = slots[i].as_mut().expect("live slot");
+                let pushes = slot.acc.absorb(mode, &t);
+                slot.state = t.next_state;
+                if t.done {
+                    finished.push(i);
+                }
+                for (e, action_window) in pushes {
+                    self.push_experience(e, action_window);
+                }
+            }
+
+            // One update per round; its loss is attributed to every
+            // episode that was active this round (with one environment
+            // this is exactly the serial attribution).
+            if self.replay_len() >= self.cfg.warmup
+                && rounds.is_multiple_of(self.cfg.update_every as u64)
+            {
+                let loss = self.update_once()?;
+                report.updates += 1;
+                for slot in slots.iter_mut().flatten() {
+                    slot.acc.note_loss(loss);
+                }
+            }
+
+            // Retire finished episodes; start the next ones in env order.
+            for &i in &finished {
+                let slot = slots[i].take().expect("finished slot");
+                report.episode_rewards[slot.episode] = slot.acc.mean_reward();
+                report.episode_losses[slot.episode] = slot.acc.mean_loss();
+                if next_episode < episodes {
+                    let state = venv.reset(i);
+                    slots[i] = Some(EnvSlot {
+                        episode: next_episode,
+                        state,
+                        acc: EpisodeAccum::new(alpha_max),
+                    });
+                    next_episode += 1;
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// Exploration-free greedy rollout returning mean per-decision reward
@@ -458,21 +675,24 @@ mod tests {
         )
     }
 
-    #[test]
-    fn learns_bandit_with_aggregate_reward() {
-        let mode = RewardMode::Aggregate {
+    fn aggregate_mode(window_frames: usize) -> RewardMode {
+        RewardMode::Aggregate {
             target_accuracy: 0.8,
-            window_frames: 1,
+            window_frames,
             eval_window: 1,
             fastness_bonus: 0.0,
             fp_penalty: 0.0,
             deficit_scale: 1.0,
             local_mix: 0.0,
             beta: 0.0,
-        };
-        let mut trainer = small_trainer(mode, 3);
+        }
+    }
+
+    #[test]
+    fn learns_bandit_with_aggregate_reward() {
+        let mut trainer = small_trainer(aggregate_mode(1), 3);
         let mut env = Bandit::new(9, 100);
-        let report = trainer.train(&mut env);
+        let report = trainer.train(&mut env).unwrap();
         assert!(report.updates > 0);
         // Greedy policy should match the context.
         let agent = trainer.agent();
@@ -487,7 +707,7 @@ mod tests {
         let mode = RewardMode::Local { beta: 0.5 };
         let mut trainer = small_trainer(mode, 5);
         let mut env = Bandit::new(2, 100);
-        let _ = trainer.train(&mut env);
+        let _ = trainer.train(&mut env).unwrap();
         let agent = trainer.agent();
         assert_eq!(agent.greedy_action(&[0.0]), 0);
         assert_eq!(agent.greedy_action(&[1.0]), 0);
@@ -495,19 +715,9 @@ mod tests {
 
     #[test]
     fn report_counts_are_consistent() {
-        let mode = RewardMode::Aggregate {
-            target_accuracy: 0.8,
-            window_frames: 4,
-            eval_window: 1,
-            fastness_bonus: 0.0,
-            fp_penalty: 0.0,
-            deficit_scale: 1.0,
-            local_mix: 0.0,
-            beta: 0.0,
-        };
-        let mut trainer = small_trainer(mode, 1);
+        let mut trainer = small_trainer(aggregate_mode(4), 1);
         let mut env = Bandit::new(1, 50);
-        let report = trainer.train(&mut env);
+        let report = trainer.train(&mut env).unwrap();
         assert_eq!(report.episode_rewards.len(), 30);
         assert_eq!(report.steps, 30 * 50);
         assert!(report.final_reward().is_finite());
@@ -515,19 +725,9 @@ mod tests {
 
     #[test]
     fn evaluate_runs_greedy() {
-        let mode = RewardMode::Aggregate {
-            target_accuracy: 0.8,
-            window_frames: 1,
-            eval_window: 1,
-            fastness_bonus: 0.0,
-            fp_penalty: 0.0,
-            deficit_scale: 1.0,
-            local_mix: 0.0,
-            beta: 0.0,
-        };
-        let mut trainer = small_trainer(mode, 3);
+        let mut trainer = small_trainer(aggregate_mode(1), 3);
         let mut env = Bandit::new(9, 100);
-        let _ = trainer.train(&mut env);
+        let _ = trainer.train(&mut env).unwrap();
         let score = trainer.evaluate(&mut env, 3);
         // A trained greedy policy mostly earns the on-target reward (0 for
         // perfect windows, -0.8 for misses) — well above always-wrong.
@@ -559,8 +759,87 @@ mod tests {
             },
         );
         let mut env = Bandit::new(4, 25);
-        let report = trainer.train(&mut env);
+        let report = trainer.train(&mut env).unwrap();
         assert_eq!(report.steps, 25);
         assert_eq!(trainer.replay_len(), 25, "all pending experiences flushed");
+    }
+
+    #[test]
+    fn vectorized_single_env_is_bit_identical_to_serial() {
+        for (mode, seed) in [
+            (aggregate_mode(3), 11u64),
+            (RewardMode::Local { beta: 0.4 }, 12),
+        ] {
+            let mut serial = small_trainer(mode, seed);
+            let mut vectorized = small_trainer(mode, seed);
+            let mut env_a = Bandit::new(seed ^ 7, 60);
+            let env_b = Bandit::new(seed ^ 7, 60);
+            let report_a = serial.train(&mut env_a).unwrap();
+            let mut venv = VecEnv::single(Box::new(env_b));
+            let report_b = vectorized.train_vec(&mut venv).unwrap();
+            assert_eq!(report_a, report_b, "reports diverged (seed {seed})");
+            assert_eq!(
+                serial.agent().policy().to_bytes(),
+                vectorized.agent().policy().to_bytes(),
+                "policies diverged (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn vectorized_multi_env_is_deterministic_and_learns() {
+        let run = || {
+            let mut trainer = small_trainer(aggregate_mode(1), 21);
+            let envs: Vec<Box<dyn Environment + Send>> = (0..4)
+                .map(|i| Box::new(Bandit::new(100 + i, 80)) as Box<dyn Environment + Send>)
+                .collect();
+            let mut venv = VecEnv::new(envs).unwrap();
+            let report = trainer.train_vec(&mut venv).unwrap();
+            (report, trainer.agent().policy().to_bytes())
+        };
+        let (report_a, policy_a) = run();
+        let (report_b, policy_b) = run();
+        assert_eq!(report_a, report_b, "vectorized training must be replayable");
+        assert_eq!(policy_a, policy_b);
+        // Episode budget fully spent, steps counted across all envs.
+        assert_eq!(report_a.episode_rewards.len(), 30);
+        assert_eq!(report_a.steps, 30 * 80);
+        assert!(report_a.updates > 0);
+        // The lockstep cadence does one update per round (4 env steps),
+        // so the update count is roughly a quarter of the serial one.
+        let mut serial = small_trainer(aggregate_mode(1), 21);
+        let serial_report = serial.train(&mut Bandit::new(100, 80)).unwrap();
+        assert!(report_a.updates * 3 < serial_report.updates);
+    }
+
+    #[test]
+    fn vectorized_bandit_still_learns_the_context() {
+        let mut trainer = small_trainer(aggregate_mode(1), 9);
+        let envs: Vec<Box<dyn Environment + Send>> = (0..2)
+            .map(|i| Box::new(Bandit::new(40 + i, 100)) as Box<dyn Environment + Send>)
+            .collect();
+        let mut venv = VecEnv::new(envs).unwrap();
+        let report = trainer.train_vec(&mut venv).unwrap();
+        assert!(report.updates > 0);
+        let agent = trainer.agent();
+        assert_eq!(agent.greedy_action(&[0.0]), 0);
+        assert_eq!(agent.greedy_action(&[1.0]), 1);
+    }
+
+    #[test]
+    fn zero_batch_size_is_a_typed_error() {
+        let agent = DqnAgent::new(1, 2, DqnConfig::default(), 0);
+        let mut trainer = DqnTrainer::new(
+            agent,
+            TrainerConfig {
+                episodes: 1,
+                warmup: 0,
+                batch_size: 0,
+                update_every: 1,
+                ..TrainerConfig::default()
+            },
+        );
+        let mut env = Bandit::new(0, 5);
+        assert_eq!(trainer.train(&mut env).unwrap_err(), RlError::EmptyBatch);
     }
 }

@@ -1,0 +1,139 @@
+//! Lockstep vectorized environments.
+//!
+//! Zeus's training episodes traverse independent videos, so N
+//! identically-shaped copies of the traversal MDP can be stepped in
+//! lockstep: the trainer selects all N ε-greedy actions with *one*
+//! batched Q-network forward (`[n, d]` in, per-row argmax out) instead of
+//! N scalar forwards, and performs one gradient update per lockstep
+//! round. With one environment a round degenerates to exactly one serial
+//! step, which is what makes the fixed-seed equivalence guarantee of
+//! [`crate::DqnTrainer::train_vec`] possible.
+
+use crate::env::{Environment, Transition};
+use crate::error::RlError;
+
+/// N environments of identical MDP shape, stepped in lockstep.
+pub struct VecEnv {
+    envs: Vec<Box<dyn Environment + Send>>,
+}
+
+impl std::fmt::Debug for VecEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VecEnv")
+            .field("envs", &self.envs.len())
+            .field("state_dim", &self.envs.first().map(|e| e.state_dim()))
+            .field("num_actions", &self.envs.first().map(|e| e.num_actions()))
+            .finish()
+    }
+}
+
+impl VecEnv {
+    /// Wrap `envs` after validating that they agree on state
+    /// dimensionality, action count, and fastness values — the trainer
+    /// batches their states through one network, so a shape mismatch is a
+    /// typed error here rather than a panic later.
+    pub fn new(envs: Vec<Box<dyn Environment + Send>>) -> Result<Self, RlError> {
+        let first = envs.first().ok_or(RlError::NoEnvironments)?;
+        let (dim, actions) = (first.state_dim(), first.num_actions());
+        let alphas = first.alphas().to_vec();
+        for (i, env) in envs.iter().enumerate().skip(1) {
+            if env.state_dim() != dim {
+                return Err(RlError::MixedEnvironments(format!(
+                    "env 0 has state_dim {dim}, env {i} has {}",
+                    env.state_dim()
+                )));
+            }
+            if env.num_actions() != actions {
+                return Err(RlError::MixedEnvironments(format!(
+                    "env 0 has {actions} actions, env {i} has {}",
+                    env.num_actions()
+                )));
+            }
+            if env.alphas() != alphas.as_slice() {
+                return Err(RlError::MixedEnvironments(format!(
+                    "env {i} disagrees on fastness values"
+                )));
+            }
+        }
+        Ok(VecEnv { envs })
+    }
+
+    /// A vectorized view over a single environment (the serial case).
+    pub fn single(env: Box<dyn Environment + Send>) -> Self {
+        VecEnv { envs: vec![env] }
+    }
+
+    /// Number of environments.
+    pub fn len(&self) -> usize {
+        self.envs.len()
+    }
+
+    /// Always false: construction rejects the empty case.
+    pub fn is_empty(&self) -> bool {
+        self.envs.is_empty()
+    }
+
+    /// Shared state dimensionality.
+    pub fn state_dim(&self) -> usize {
+        self.envs[0].state_dim()
+    }
+
+    /// Shared action count.
+    pub fn num_actions(&self) -> usize {
+        self.envs[0].num_actions()
+    }
+
+    /// Shared normalised fastness values.
+    pub fn alphas(&self) -> &[f32] {
+        self.envs[0].alphas()
+    }
+
+    /// Begin a new episode on environment `i`.
+    pub fn reset(&mut self, i: usize) -> Vec<f32> {
+        self.envs[i].reset()
+    }
+
+    /// Step environment `i`.
+    pub fn step(&mut self, i: usize, action: usize) -> Transition {
+        self.envs[i].step(action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_envs::Bandit;
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(VecEnv::new(vec![]).unwrap_err(), RlError::NoEnvironments);
+    }
+
+    #[test]
+    fn lockstep_mechanics() {
+        let envs: Vec<Box<dyn Environment + Send>> = (0..3)
+            .map(|i| Box::new(Bandit::new(i, 5)) as Box<dyn Environment + Send>)
+            .collect();
+        let mut venv = VecEnv::new(envs).unwrap();
+        assert_eq!(venv.len(), 3);
+        assert_eq!(venv.state_dim(), 1);
+        assert_eq!(venv.num_actions(), 2);
+        for i in 0..3 {
+            let s = venv.reset(i);
+            assert_eq!(s.len(), 1);
+            let t = venv.step(i, 0);
+            assert_eq!(t.state.len(), 1);
+        }
+    }
+
+    #[test]
+    fn seeded_copies_diverge_but_match_shape() {
+        let a = Box::new(Bandit::new(1, 5)) as Box<dyn Environment + Send>;
+        let b = Box::new(Bandit::new(2, 5)) as Box<dyn Environment + Send>;
+        let mut venv = VecEnv::new(vec![a, b]).unwrap();
+        let sa = venv.reset(0);
+        let sb = venv.reset(1);
+        // Shapes agree; contents may differ (independent seeds).
+        assert_eq!(sa.len(), sb.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! The training plane's determinism contracts.
+//!
+//! Two invariants license the vectorized `TrainingEngine`:
+//!
+//! 1. **Serial equivalence** — with `vec_envs = 1` and
+//!    `train_workers = 1`, the engine produces a bit-identical greedy
+//!    policy and `TrainingReport` to the legacy serial `DqnTrainer` under
+//!    the same seeds (property-tested across seeds).
+//! 2. **Worker-count independence** — the trained per-spec policies are a
+//!    pure function of their job seeds, so any worker count yields the
+//!    same portfolio (and the same end-to-end `QueryPlan`).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use zeus::apfg::{FeatureCache, SimulatedApfg};
+use zeus::core::config::ConfigSpace;
+use zeus::core::env::VideoTraversalEnv;
+use zeus::core::planner::{PlannerOptions, QueryPlanner};
+use zeus::core::query::ActionQuery;
+use zeus::core::training::{CandidateJob, TrainingEngine, TrainingOptions};
+use zeus::rl::{
+    DqnAgent, DqnConfig, DqnTrainer, Environment, EpsilonSchedule, RewardMode, TrainerConfig,
+};
+use zeus::sim::CostModel;
+use zeus::video::{ActionClass, DatasetKind, Video};
+
+fn proto_env(corpus_seed: u64, apfg_seed: u64) -> VideoTraversalEnv {
+    let ds = DatasetKind::Bdd100k.generate(0.02, corpus_seed);
+    let videos: Vec<Video> = ds.store.videos().to_vec();
+    let classes = vec![ActionClass::CrossRight];
+    let space = ConfigSpace::for_dataset(DatasetKind::Bdd100k);
+    let alphas = space.alphas(&CostModel::default());
+    let init = space.most_accurate();
+    let apfg = Arc::new(SimulatedApfg::new(
+        classes.clone(),
+        space.max_resolution(),
+        space.max_seg_len(),
+        space.max_sampling(),
+        apfg_seed,
+    ));
+    VideoTraversalEnv::new(videos, classes, apfg, space, alphas, init, apfg_seed)
+        .expect("tiny corpus is valid")
+}
+
+fn tiny_job(seed: u64) -> CandidateJob {
+    CandidateJob {
+        trainer: TrainerConfig {
+            episodes: 2,
+            replay_capacity: 1_000,
+            warmup: 64,
+            batch_size: 32,
+            update_every: 2,
+            epsilon: EpsilonSchedule::new(1.0, 0.1, 400),
+            reward_mode: RewardMode::Aggregate {
+                target_accuracy: 0.85,
+                window_frames: 400,
+                eval_window: 16,
+                fastness_bonus: 0.2,
+                fp_penalty: 2.0,
+                deficit_scale: 3.0,
+                local_mix: 0.5,
+                beta: 0.3,
+            },
+            stratify: true,
+            seed,
+        },
+        dqn: DqnConfig::default(),
+        dqn_seed: seed ^ 0xD097,
+        env_seed: seed ^ 0x5EED,
+    }
+}
+
+proptest! {
+    /// ISSUE 5's hard invariant: `TrainingEngine` with `vec_envs = 1`,
+    /// `train_workers = 1` reproduces the legacy serial trainer
+    /// bit-for-bit — same greedy policy bytes, same `TrainingReport` —
+    /// for arbitrary seeds.
+    #[test]
+    fn engine_vec1_w1_matches_legacy_serial_trainer(
+        seed in 0u64..10_000,
+        corpus_pick in 0u64..3,
+    ) {
+        let proto = proto_env(3 + corpus_pick, seed ^ 0xA11CE);
+        let job = tiny_job(seed);
+
+        // Legacy serial path: DqnTrainer::train over one environment.
+        let agent = DqnAgent::new(
+            proto.state_dim(),
+            proto.num_actions(),
+            job.dqn.clone(),
+            job.dqn_seed,
+        );
+        let mut trainer = DqnTrainer::new(agent, job.trainer.clone());
+        let mut env = proto.fork(job.env_seed);
+        let serial_report = trainer.train(&mut env).expect("serial training");
+        let serial_policy = trainer.into_agent().policy().to_bytes();
+
+        // Engine path at N = 1 / W = 1 (with the shared feature cache
+        // attached, which must be semantically invisible).
+        let engine = TrainingEngine::new(TrainingOptions {
+            train_workers: 1,
+            vec_envs: 1,
+        });
+        let cached = proto.fork(0).with_cache(Arc::new(FeatureCache::new()));
+        let outcome = engine.train_candidate(&cached, &job).expect("engine training");
+
+        prop_assert_eq!(&outcome.report, &serial_report);
+        prop_assert_eq!(outcome.policy.to_bytes(), serial_policy);
+    }
+}
+
+/// Same seeds → same per-spec policies regardless of worker count.
+#[test]
+fn portfolio_policies_are_worker_count_independent() {
+    let proto = proto_env(5, 17).with_cache(Arc::new(FeatureCache::new()));
+    let jobs: Vec<CandidateJob> = (0..4).map(|i| tiny_job(900 + i)).collect();
+    let cost = CostModel::default();
+    let portfolio = |workers: usize| {
+        TrainingEngine::new(TrainingOptions {
+            train_workers: workers,
+            vec_envs: 2,
+        })
+        .train_portfolio(&proto, &jobs, &cost)
+        .expect("portfolio trains")
+    };
+    let reference = portfolio(1);
+    for workers in [2, 4, 8] {
+        let other = portfolio(workers);
+        assert_eq!(other.candidates.len(), reference.candidates.len());
+        for (spec, (a, b)) in reference
+            .candidates
+            .iter()
+            .zip(&other.candidates)
+            .enumerate()
+        {
+            assert_eq!(
+                a.report, b.report,
+                "spec {spec} report changed with {workers} workers"
+            );
+            assert_eq!(
+                a.policy.to_bytes(),
+                b.policy.to_bytes(),
+                "spec {spec} policy changed with {workers} workers"
+            );
+        }
+    }
+}
+
+/// The whole planner is worker-count independent end to end: the same
+/// query plans to the same policy, sliding config, and training report
+/// whether the portfolio trains on one worker or four.
+#[test]
+fn planner_output_is_worker_count_independent() {
+    let dataset = DatasetKind::Bdd100k.generate(0.05, 77);
+    let plan_with = |workers: usize, vec_envs: usize| {
+        let mut options = PlannerOptions::default();
+        options.trainer.episodes = 2;
+        options.trainer.warmup = 64;
+        options.candidates.truncate(2);
+        options.training = TrainingOptions {
+            train_workers: workers,
+            vec_envs,
+        };
+        let planner = QueryPlanner::new(&dataset, options);
+        let query = ActionQuery::new(ActionClass::CrossRight, 0.85).unwrap();
+        planner.try_plan(&query).expect("plannable")
+    };
+    let solo = plan_with(1, 2);
+    let wide = plan_with(4, 2);
+    assert_eq!(solo.sliding_config, wide.sliding_config);
+    assert_eq!(solo.training_report, wide.training_report);
+    assert_eq!(solo.policy.to_bytes(), wide.policy.to_bytes());
+}
+
+/// vec_envs > 1 changes the rollout (fewer updates per step) but stays
+/// fully reproducible run-to-run.
+#[test]
+fn vectorized_rollouts_are_reproducible() {
+    let run = || {
+        let proto = proto_env(7, 23);
+        TrainingEngine::new(TrainingOptions {
+            train_workers: 1,
+            vec_envs: 4,
+        })
+        .train_candidate(&proto, &tiny_job(55))
+        .expect("engine trains")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.report, b.report);
+    assert_eq!(a.policy.to_bytes(), b.policy.to_bytes());
+    assert!(a.report.steps > 0 && a.report.updates > 0);
+}
