@@ -21,6 +21,7 @@ use zeus_core::planner::{ConfigProfile, PlanError, PlannerOptions, QueryPlan, Qu
 use zeus_core::query::{parse_zql, ActionQuery, QueryIr};
 use zeus_core::result::{ConfigHistogram, QueryResult};
 use zeus_core::ExecutorKind;
+use zeus_obs::{ExplainReport, ObsHub, ObsSnapshot, StageClock, Tracer};
 use zeus_serve::{CorpusId, PlanStore, QueryRefiner, SegmentHit, ServeConfig, ZeusServer};
 use zeus_sim::SimClock;
 use zeus_video::annotation::runs_from_labels;
@@ -67,6 +68,7 @@ pub struct ZeusSessionBuilder {
     vec_envs: Option<usize>,
     catalog: Option<PathBuf>,
     executor: ExecutorKind,
+    obs: Option<ObsHub>,
 }
 
 impl std::fmt::Debug for ZeusSessionBuilder {
@@ -97,6 +99,7 @@ impl Default for ZeusSessionBuilder {
             vec_envs: None,
             catalog: None,
             executor: ExecutorKind::ZeusRl,
+            obs: None,
         }
     }
 }
@@ -227,6 +230,15 @@ impl ZeusSessionBuilder {
         self
     }
 
+    /// Share an existing observability hub instead of the session's own
+    /// fresh one — e.g. to aggregate several sessions into one metric
+    /// namespace. Observability is always on; this only controls *which*
+    /// hub collects it.
+    pub fn obs(mut self, obs: ObsHub) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Materialize every registered source and assemble the session.
     /// Fails (typed, no panics) on a degenerate scale, an unusable
     /// catalog directory or `.zds` file, duplicate or invalid dataset
@@ -300,6 +312,7 @@ impl ZeusSessionBuilder {
             options,
             plans: Arc::new(plans),
             executor: self.executor,
+            obs: self.obs.unwrap_or_default(),
             plan_cache: RwLock::new(HashMap::new()),
             plan_locks: Mutex::new(HashMap::new()),
             profile_cache: RwLock::new(HashMap::new()),
@@ -376,6 +389,10 @@ pub struct ZeusSession {
     options: PlannerOptions,
     plans: Arc<PlanStore>,
     executor: ExecutorKind,
+    /// The session's observability hub: one metric namespace + span
+    /// tracer shared by the planner, the training plane, and any server
+    /// started via [`Self::serve`].
+    obs: ObsHub,
     /// Full trained plans (with profiles) per (corpus, query core); the
     /// `PlanStore` holds the serialized form used by serving and the
     /// catalog.
@@ -437,6 +454,24 @@ impl ZeusSession {
         &self.plans
     }
 
+    /// The session's observability hub (metric registry + span tracer).
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// A point-in-time snapshot of every metric the session (and any
+    /// server sharing its hub) has recorded.
+    pub fn snapshot(&self) -> ObsSnapshot {
+        self.obs.metrics.snapshot()
+    }
+
+    /// The span tracer: recent trace trees and per-stage latency
+    /// aggregates, exportable as JSONL via
+    /// [`Tracer::export_jsonl`].
+    pub fn trace_sink(&self) -> &Tracer {
+        &self.obs.tracer
+    }
+
     /// Resolve an optional dataset name (a `FROM` clause) to its
     /// session source; `None` targets the default.
     fn resolve(&self, name: Option<&str>) -> Result<&SessionSource, ZeusError> {
@@ -492,16 +527,17 @@ impl ZeusSession {
     /// through the store without fingerprint collisions).
     pub fn serve_dataset(&self, name: &str, config: ServeConfig) -> Result<ZeusServer, ZeusError> {
         let source = self.resolve(Some(name))?;
-        Ok(ZeusServer::start_as(
+        Ok(ZeusServer::start_with_obs(
             source.source.as_ref(),
             source.name.clone(),
             Arc::clone(&self.plans),
             config,
+            self.obs.clone(),
         )?)
     }
 
     fn planner<'a>(&'a self, source: &'a SessionSource) -> QueryPlanner<'a> {
-        QueryPlanner::new(source.source.as_ref(), self.options.clone())
+        QueryPlanner::new(source.source.as_ref(), self.options.clone()).with_obs(self.obs.clone())
     }
 
     /// The full plan trained this session, if any.
@@ -740,19 +776,61 @@ impl<'s> Query<'s> {
 
     /// Execute the query over its dataset's test split and return the
     /// evaluated response with the refined answer set.
+    ///
+    /// Every run is traced (`session.run`: `plan` → `execute` →
+    /// `refine` spans) into the session's [`Tracer`]; a query compiled
+    /// from `EXPLAIN ANALYZE <zql>` additionally carries a full
+    /// [`ExplainReport`] in [`QueryResponse::explain`] whose stage sum
+    /// equals the measured end-to-end latency by construction.
     pub fn run(&self) -> Result<QueryResponse, ZeusError> {
+        let from_cache = self
+            .session
+            .cached_plan(self.source, &self.ir.base)
+            .is_some()
+            || self.lookup().is_some();
+        let trace = self.session.obs.tracer.trace("session.run");
+        let mut clock = StageClock::new();
+
+        let span = trace.span("plan");
         let resolved = self.resolve()?;
+        drop(span);
+        clock.mark("plan");
+
+        let mut span = trace.span("execute");
         let videos = self.session.test_videos(self.source);
         let exec = resolved.engine.execute(&videos);
+        let device_secs = exec.clock.elapsed_secs();
+        span.set_device_secs(device_secs);
+        drop(span);
+        clock.mark("execute");
+        clock.set_device_secs(device_secs);
+
+        let span = trace.span("refine");
         let report = exec.evaluate(&videos, &self.ir.base.classes, resolved.protocol);
         let refiner = QueryRefiner::new(&self.ir, videos.iter().copied());
         let answer = refiner.answer(&exec.labels);
+        drop(span);
+        clock.mark("refine");
+
+        let explain = self.ir.explain.then(|| {
+            let (stages, total) = clock.finish();
+            ExplainReport {
+                query: self.ir.to_sql(),
+                executor: self.executor.name().to_string(),
+                from_cache,
+                coalesced: false,
+                stages,
+                total,
+                device_secs,
+            }
+        });
         Ok(QueryResponse {
             result: QueryResult::from_parts(self.executor.name(), &exec, &report),
             report,
             answer,
             ir: self.ir.clone(),
             executor: self.executor,
+            explain,
         })
     }
 
@@ -790,6 +868,9 @@ pub struct QueryResponse {
     /// The refined answer set (`WINDOW`/`AND NOT`/`ORDER BY`/`LIMIT`
     /// applied).
     pub answer: Vec<SegmentHit>,
+    /// Per-stage timing report, present when the query was compiled
+    /// from `EXPLAIN ANALYZE <zql>` (or [`QueryIr::explained`]).
+    pub explain: Option<ExplainReport>,
 }
 
 /// One video's localized segments, yielded by [`Query::run_streaming`].

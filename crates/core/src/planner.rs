@@ -252,6 +252,7 @@ pub struct QueryPlanner<'a> {
     source: &'a dyn DataSource,
     options: PlannerOptions,
     cost: CostModel,
+    obs: Option<zeus_obs::ObsHub>,
 }
 
 impl<'a> QueryPlanner<'a> {
@@ -262,7 +263,15 @@ impl<'a> QueryPlanner<'a> {
             source,
             options,
             cost,
+            obs: None,
         }
+    }
+
+    /// Record planning/training telemetry (`train.*` counters, feature
+    /// cache hit/miss, per-stage spans) into `obs`.
+    pub fn with_obs(mut self, obs: zeus_obs::ObsHub) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// The cost model in use.
@@ -561,8 +570,19 @@ impl<'a> QueryPlanner<'a> {
                 }
             })
             .collect();
-        let engine = TrainingEngine::new(self.options.training);
+        let mut engine = TrainingEngine::new(self.options.training);
+        if let Some(hub) = &self.obs {
+            engine = engine.with_obs(hub.clone());
+        }
         let portfolio = engine.train_portfolio(&proto, &jobs, &self.cost)?;
+        if let (Some(hub), Some(cache)) = (&self.obs, proto.cache()) {
+            // The feature cache keeps its own atomic tallies; fold them
+            // into the shared namespace once per planning run.
+            hub.metrics.counter("cache.feature.hit").add(cache.hits());
+            hub.metrics
+                .counter("cache.feature.miss")
+                .add(cache.misses());
+        }
 
         // The planner then selects by validation utility: among candidates
         // meeting the target, the fastest; otherwise the most accurate.

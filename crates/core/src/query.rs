@@ -157,6 +157,11 @@ pub struct QueryIr {
     pub latency_budget_ms: Option<f64>,
     /// `ORDER BY confidence` answer-set ordering.
     pub order: Option<OrderBy>,
+    /// `EXPLAIN ANALYZE` prefix: run the query and report per-stage
+    /// timings alongside the answer. Not part of the plan/cache
+    /// identity — an explained query shares its plan and cached result
+    /// with the plain spelling.
+    pub explain: bool,
 }
 
 impl QueryIr {
@@ -170,7 +175,15 @@ impl QueryIr {
             limit: None,
             latency_budget_ms: None,
             order: None,
+            explain: false,
         }
+    }
+
+    /// Request per-stage timing (builder-style sugar for setting
+    /// [`QueryIr::explain`]).
+    pub fn explained(mut self) -> Self {
+        self.explain = true;
+        self
     }
 
     /// Route this query to a named dataset (builder-style sugar for
@@ -240,7 +253,8 @@ impl QueryIr {
     /// `parse_zql(ir.to_sql()) == Ok(ir)` round-trips exactly.
     pub fn to_sql(&self) -> String {
         let mut sql = format!(
-            "SELECT segment_ids FROM {} WHERE {}",
+            "{}SELECT segment_ids FROM {} WHERE {}",
+            if self.explain { "EXPLAIN ANALYZE " } else { "" },
             self.source.as_deref().unwrap_or("UDF(video)"),
             class_predicate(&self.base.classes)
         );
@@ -356,6 +370,7 @@ fn parse_usize_prefix(s: &str) -> Option<(usize, &str)> {
 /// See the module docs for the grammar. Accepts the classic §1 dialect as
 /// the degenerate case (every extension clause optional).
 pub fn parse_zql(sql: &str) -> Result<QueryIr, ParseError> {
+    let (sql, explain) = strip_explain(sql);
     let lower = sql.to_ascii_lowercase();
     if !(lower.contains("select") && lower.contains("from") && lower.contains("where")) {
         return Err(ParseError::NotAnActionQuery(sql.trim().to_string()));
@@ -526,9 +541,29 @@ pub fn parse_zql(sql: &str) -> Result<QueryIr, ParseError> {
         limit,
         latency_budget_ms,
         order,
+        explain,
     };
     ir.validate()?;
     Ok(ir)
+}
+
+/// Strip a leading `EXPLAIN ANALYZE` prefix (case-insensitive,
+/// whole-word), returning the remaining query text and whether the
+/// prefix was present.
+fn strip_explain(sql: &str) -> (&str, bool) {
+    let trimmed = sql.trim_start();
+    let lower = trimmed.to_ascii_lowercase();
+    if let Some(rest) = lower.strip_prefix("explain") {
+        let rest = rest.trim_start();
+        if rest.starts_with("analyze") {
+            let consumed = (trimmed.len() - rest.len()) + "analyze".len();
+            let after = &trimmed[consumed..];
+            if after.starts_with(char::is_whitespace) {
+                return (after, true);
+            }
+        }
+    }
+    (sql, false)
 }
 
 /// Is `name` a valid (already-lowercased) dataset identifier?
@@ -663,6 +698,7 @@ mod tests {
             limit: Some(5),
             latency_budget_ms: Some(512.5),
             order: Some(OrderBy::ConfidenceAsc),
+            explain: true,
         };
         assert_eq!(parse_zql(&ir.to_sql()), Ok(ir));
     }

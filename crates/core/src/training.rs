@@ -192,13 +192,24 @@ fn env_fork_seed(base: u64, j: usize) -> u64 {
 #[derive(Debug, Clone, Default)]
 pub struct TrainingEngine {
     options: TrainingOptions,
+    /// Optional observability hub: candidate/episode/step/update
+    /// counters and per-stage span timing. Never consulted by the
+    /// training math, so instrumented runs stay bit-identical.
+    obs: Option<zeus_obs::ObsHub>,
 }
 
 impl TrainingEngine {
     /// An engine with the given knobs (`vec_envs` is clamped to ≥ 1).
     pub fn new(mut options: TrainingOptions) -> Self {
         options.vec_envs = options.vec_envs.max(1);
-        TrainingEngine { options }
+        TrainingEngine { options, obs: None }
+    }
+
+    /// Record training telemetry (`train.*` counters, `candidate` /
+    /// `episode` / `batch_forward` / `update` stages) into `obs`.
+    pub fn with_obs(mut self, obs: zeus_obs::ObsHub) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// The engine's knobs.
@@ -234,6 +245,11 @@ impl TrainingEngine {
             job.dqn_seed,
         );
         let mut trainer = DqnTrainer::new(agent, job.trainer.clone());
+        let candidate_started = self.obs.as_ref().map(|hub| {
+            hub.metrics.counter("train.candidates").inc();
+            trainer.set_obs(hub.train_obs());
+            std::time::Instant::now()
+        });
         let envs: Vec<Box<dyn Environment + Send>> = (0..self.options.vec_envs)
             .map(|j| {
                 Box::new(proto.fork(env_fork_seed(job.env_seed, j))) as Box<dyn Environment + Send>
@@ -241,6 +257,9 @@ impl TrainingEngine {
             .collect();
         let mut venv = VecEnv::new(envs)?;
         let report = trainer.train_vec(&mut venv)?;
+        if let (Some(hub), Some(started)) = (&self.obs, candidate_started) {
+            hub.tracer.record_stage("candidate", started.elapsed());
+        }
         Ok(CandidateOutcome {
             policy: trainer.into_agent().policy(),
             report,
@@ -299,10 +318,18 @@ impl TrainingEngine {
                 .expect("every job claimed exactly once");
             candidates.push(outcome?);
         }
+        let device_busy_secs = pool.busy_secs();
+        if let Some(hub) = &self.obs {
+            for (i, busy) in device_busy_secs.iter().enumerate() {
+                hub.metrics
+                    .gauge(&format!("train.device.{i}.busy_secs"))
+                    .set(*busy);
+            }
+        }
         Ok(PortfolioOutcome {
             candidates,
             workers,
-            device_busy_secs: pool.busy_secs(),
+            device_busy_secs,
         })
     }
 }

@@ -1,0 +1,255 @@
+//! Bounded-memory log-bucket histogram.
+//!
+//! [`LogHistogram`] covers the full `u64` range with a fixed array of
+//! atomic buckets: one zero bucket plus 64 octaves × 4 geometric
+//! sub-buckets (bucket boundaries at `2^(o) · (1 + s/4)`). Memory is
+//! constant regardless of how many values are recorded — the fix for
+//! `ServeMetrics`' unbounded `latencies_us: Vec<u64>` — and any
+//! quantile estimate lands in the same bucket as the exact value, i.e.
+//! within a factor of `2^(1/4) ≈ 1.19` (the "within one bucket"
+//! guarantee the serving tests pin down).
+//!
+//! Recording is a single relaxed `fetch_add` (plus one for the exact
+//! running sum), so the histogram is safe on hot paths and across
+//! threads without locks.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution bits: 4 sub-buckets per octave.
+const SUB_BITS: usize = 2;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Octaves covering `1..=u64::MAX`.
+const OCTAVES: usize = 64;
+/// Total buckets: the zero bucket + every (octave, sub) pair.
+const BUCKETS: usize = 1 + OCTAVES * SUBS;
+
+/// A fixed-size, thread-safe, log-bucketed histogram of `u64` values.
+pub struct LogHistogram {
+    buckets: Box<[AtomicU64; BUCKETS]>,
+    /// Exact running sum (means stay exact even though quantiles are
+    /// bucketed). Saturates instead of wrapping.
+    sum: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count())
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram (constant memory: 257 atomic buckets).
+    pub fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the fixed array through a Vec.
+        let v: Vec<AtomicU64> = (0..BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKETS]> =
+            v.into_boxed_slice().try_into().expect("exact length");
+        LogHistogram {
+            buckets,
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index a value falls into. Public so tests can assert
+    /// the "within one bucket" quantile guarantee directly.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            return 0;
+        }
+        let octave = 63 - value.leading_zeros() as usize;
+        let sub = if octave >= SUB_BITS {
+            ((value >> (octave - SUB_BITS)) & (SUBS as u64 - 1)) as usize
+        } else {
+            ((value << (SUB_BITS - octave)) & (SUBS as u64 - 1)) as usize
+        };
+        1 + octave * SUBS + sub
+    }
+
+    /// Inclusive lower bound of a bucket.
+    fn bucket_low(index: usize) -> u64 {
+        if index == 0 {
+            return 0;
+        }
+        let i = index - 1;
+        let octave = i / SUBS;
+        let sub = (i % SUBS) as u64;
+        // `sub * 2^octave / SUBS` without overflowing at octave 63.
+        let frac = if octave >= SUB_BITS {
+            sub << (octave - SUB_BITS)
+        } else {
+            (sub << octave) >> SUB_BITS
+        };
+        (1u64 << octave) + frac
+    }
+
+    /// Representative value of a bucket (midpoint of its range). Low
+    /// octaves have degenerate sub-buckets narrower than one integer;
+    /// their midpoint collapses to the lower bound.
+    fn bucket_mid(index: usize) -> u64 {
+        if index == 0 {
+            return 0;
+        }
+        let low = Self::bucket_low(index);
+        let high = if index + 1 < BUCKETS {
+            Self::bucket_low(index + 1).saturating_sub(1).max(low)
+        } else {
+            u64::MAX
+        };
+        low + (high - low) / 2
+    }
+
+    /// Record one value.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        // Saturating accumulate: `fetch_update` loop only on overflow.
+        let prev = self.sum.fetch_add(value, Ordering::Relaxed);
+        if prev.checked_add(value).is_none() {
+            self.sum.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a duration in microseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Exact sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum().checked_div(self.count()).unwrap_or(0)
+    }
+
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`): the representative
+    /// value of the bucket holding the rank-`⌈q·n⌉` recorded value. The
+    /// estimate is always in the same bucket as the exact order
+    /// statistic, so it is within a factor of `2^(1/4)` of it.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64 * q.clamp(0.0, 1.0)).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_mid(i);
+            }
+        }
+        Self::bucket_mid(BUCKETS - 1)
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((Self::bucket_low(i), c))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_consistent() {
+        // Every value must land in a bucket whose [low, high] range
+        // contains it, and the mapping must be monotone in the value.
+        let mut values: Vec<u64> = (0..=1024u64).collect();
+        for o in 10..64 {
+            let base = 1u64 << o;
+            values.extend([base - 1, base, base + 1, base + (base >> 1)]);
+        }
+        values.push(u64::MAX);
+        values.sort_unstable();
+        let mut last_idx = 0usize;
+        for v in values {
+            let idx = LogHistogram::bucket_of(v);
+            assert!(idx >= last_idx, "bucket_of not monotone at {v}");
+            last_idx = idx;
+            let low = LogHistogram::bucket_low(idx);
+            let high = if idx + 1 < BUCKETS {
+                LogHistogram::bucket_low(idx + 1).saturating_sub(1).max(low)
+            } else {
+                u64::MAX
+            };
+            assert!(
+                low <= v && v <= high,
+                "{v} outside bucket {idx} [{low}, {high}]"
+            );
+        }
+        // Spot values land where the math says.
+        assert_eq!(LogHistogram::bucket_of(0), 0);
+        assert_eq!(LogHistogram::bucket_of(1), 1);
+        assert_eq!(LogHistogram::bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_land_within_one_bucket_of_exact() {
+        let h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.5, 500u64), (0.95, 950), (0.99, 990), (1.0, 1000)] {
+            let est = h.quantile(q);
+            let d =
+                (LogHistogram::bucket_of(est) as i64 - LogHistogram::bucket_of(exact) as i64).abs();
+            assert!(d <= 1, "q{q}: est {est} vs exact {exact} ({d} buckets)");
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.mean(), 500);
+    }
+
+    #[test]
+    fn empty_and_zero_values() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0);
+        h.record(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn memory_is_bounded_under_sustained_load() {
+        // The regression `ServeMetrics` had: a Vec growing forever. The
+        // histogram's storage is a fixed array; record a large stream and
+        // confirm the bucket census stays within the fixed bound.
+        let h = LogHistogram::new();
+        for i in 0..100_000u64 {
+            h.record(i % 7_919);
+        }
+        assert_eq!(h.count(), 100_000);
+        assert!(h.nonzero_buckets().len() <= BUCKETS);
+    }
+}

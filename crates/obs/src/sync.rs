@@ -1,0 +1,63 @@
+//! Poison-recovering lock helpers.
+//!
+//! Telemetry must outlive a panicking worker: a thread that dies while
+//! holding a metrics lock poisons it, and every later
+//! `.lock().unwrap()` would turn one dead worker into a wedged plane.
+//! Metric state is monotonic counters and append-only buffers, so the
+//! partially-updated state a panic leaves behind is still safe to read
+//! and extend — recovery is simply taking the guard.
+
+use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Read-lock an `RwLock`, recovering from poison.
+pub fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Write-lock an `RwLock`, recovering from poison.
+pub fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(7u64));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "lock must actually be poisoned");
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) += 1;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn recovers_a_poisoned_rwlock() {
+        let l = Arc::new(RwLock::new(vec![1, 2]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(read_recover(&l).len(), 2);
+        write_recover(&l).push(3);
+        assert_eq!(read_recover(&l).len(), 3);
+    }
+}

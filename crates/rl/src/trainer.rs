@@ -17,9 +17,12 @@
 //! serial loop on a fresh trainer — the equivalence the training plane's
 //! determinism tests pin down.
 
+use std::time::Instant;
+
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use zeus_obs::TrainObs;
 
 use crate::agent::DqnAgent;
 use crate::env::{Environment, Transition};
@@ -306,6 +309,10 @@ pub struct DqnTrainer {
     replay_action: ReplayBuffer,
     rng: ChaCha8Rng,
     global_step: u64,
+    /// Training-plane telemetry (counters + tracer). Observation never
+    /// touches the RNG or replay, so instrumented and bare runs stay
+    /// bit-identical.
+    obs: Option<TrainObs>,
 }
 
 impl DqnTrainer {
@@ -321,7 +328,15 @@ impl DqnTrainer {
             replay_action,
             rng,
             global_step: 0,
+            obs: None,
         }
+    }
+
+    /// Attach training-plane telemetry: `train.steps` / `train.episodes`
+    /// / `train.updates` counters plus per-stage (`episode`,
+    /// `batch_forward`, `update`) span timing on the shared tracer.
+    pub fn set_obs(&mut self, obs: TrainObs) {
+        self.obs = Some(obs);
     }
 
     fn replay_len(&self) -> usize {
@@ -405,9 +420,17 @@ impl DqnTrainer {
 
     /// Run the full serial training loop over `env`.
     pub fn train(&mut self, env: &mut dyn Environment) -> Result<TrainingReport, RlError> {
+        let obs = self.obs.clone();
+        let trace = obs.as_ref().map(|o| o.tracer.trace("train"));
         let mut report = TrainingReport::default();
         for _ in 0..self.cfg.episodes {
+            let _span = trace.as_ref().map(|t| t.span("episode"));
+            let steps_before = report.steps;
             let (mean_r, mean_l) = self.run_episode(env, &mut report)?;
+            if let Some(o) = &obs {
+                o.steps.add(report.steps - steps_before);
+                o.episodes.inc();
+            }
             report.episode_rewards.push(mean_r);
             report.episode_losses.push(mean_l);
         }
@@ -440,7 +463,13 @@ impl DqnTrainer {
                     .global_step
                     .is_multiple_of(self.cfg.update_every as u64)
             {
+                let update_start = self.obs.as_ref().map(|_| Instant::now());
                 let loss = self.update_once()?;
+                if let Some(started) = update_start {
+                    let o = self.obs.as_ref().expect("obs set when timed");
+                    o.tracer.record_stage("update", started.elapsed());
+                    o.updates.inc();
+                }
                 acc.note_loss(loss);
                 report.updates += 1;
             }
@@ -470,6 +499,8 @@ impl DqnTrainer {
     /// environment, so the resulting policy and [`TrainingReport`] are
     /// bit-identical.
     pub fn train_vec(&mut self, venv: &mut VecEnv) -> Result<TrainingReport, RlError> {
+        let obs = self.obs.clone();
+        let trace = obs.as_ref().map(|o| o.tracer.trace("train_vec"));
         let episodes = self.cfg.episodes;
         let mut report = TrainingReport {
             episode_rewards: vec![0.0; episodes],
@@ -508,6 +539,7 @@ impl DqnTrainer {
 
             // One batched forward selects every live environment's action.
             let (live, actions) = {
+                let _span = trace.as_ref().map(|t| t.span("batch_forward"));
                 let mut live = Vec::new();
                 let mut states: Vec<&[f32]> = Vec::new();
                 for (i, slot) in slots.iter().enumerate() {
@@ -519,6 +551,9 @@ impl DqnTrainer {
                 let actions = self.agent.select_actions_batch(&states, eps);
                 (live, actions)
             };
+            if let Some(o) = &obs {
+                o.steps.add(live.len() as u64);
+            }
 
             finished.clear();
             for (&i, &action) in live.iter().zip(&actions) {
@@ -542,7 +577,12 @@ impl DqnTrainer {
             if self.replay_len() >= self.cfg.warmup
                 && rounds.is_multiple_of(self.cfg.update_every as u64)
             {
+                let update_span = trace.as_ref().map(|t| t.span("update"));
                 let loss = self.update_once()?;
+                drop(update_span);
+                if let Some(o) = &obs {
+                    o.updates.inc();
+                }
                 report.updates += 1;
                 for slot in slots.iter_mut().flatten() {
                     slot.acc.note_loss(loss);
@@ -552,6 +592,9 @@ impl DqnTrainer {
             // Retire finished episodes; start the next ones in env order.
             for &i in &finished {
                 let slot = slots[i].take().expect("finished slot");
+                if let Some(o) = &obs {
+                    o.episodes.inc();
+                }
                 report.episode_rewards[slot.episode] = slot.acc.mean_reward();
                 report.episode_losses[slot.episode] = slot.acc.mean_loss();
                 if next_episode < episodes {

@@ -73,3 +73,4 @@ pub use refine::{compute_exclude_spans, ExcludeSpans, QueryRefiner, SegmentHit};
 pub use request::{Priority, QueryId, QueryOutcome, ResponseEvent, ResponseStream};
 pub use server::{priority_for_budget, servable, ServeConfig, ServeError, ZeusServer};
 pub use workload::{run_closed_loop, run_open_loop, WorkloadReport, WorkloadSpec};
+pub use zeus_obs::{ExplainReport, ObsHub, ObsSnapshot, StageTiming};

@@ -6,136 +6,168 @@
 //! printed by `zeus serve-bench`). Latency is wall-clock (queueing +
 //! scheduling + the real CPU cost of simulated execution); device seconds
 //! are simulated time, so the two axes are reported separately.
+//!
+//! Counters and the latency histogram live in a shared
+//! [`MetricsRegistry`] under the `serve.*` / `cache.result.*` namespace,
+//! so one `ObsSnapshot` sees serving alongside training and cache
+//! telemetry. Latency is a bounded-memory [`zeus_obs::LogHistogram`] (fixed 257
+//! buckets) rather than an unbounded `Vec<u64>`: percentiles are within
+//! one log bucket of exact, the mean stays exact, and a long-lived
+//! server no longer grows memory per completed query.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-#[derive(Debug, Default)]
-struct MetricsInner {
-    submitted: u64,
-    admitted: u64,
-    shed: u64,
-    rejected_no_plan: u64,
-    completed: u64,
-    cache_hits: u64,
-    cache_misses: u64,
-    coalesced: u64,
-    latencies_us: Vec<u64>,
-    device_secs: f64,
-    frames: u64,
-    first_completion: Option<Instant>,
-    last_completion: Option<Instant>,
+use zeus_obs::sync::lock_recover;
+use zeus_obs::{Counter, Histogram, MetricsRegistry};
+
+/// Live serving counters (interior-mutable, shared across workers). All
+/// hot-path updates are atomic bumps on registry handles; the only lock
+/// guards the completion window timestamps, and it recovers from poison
+/// rather than propagating a dead worker's panic.
+#[derive(Debug)]
+pub struct ServeMetrics {
+    submitted: Counter,
+    admitted: Counter,
+    shed: Counter,
+    rejected_no_plan: Counter,
+    completed: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    coalesced: Counter,
+    frames: Counter,
+    latency: Histogram,
+    /// Simulated device time in microseconds (atomic f64-free sum).
+    device_us: AtomicU64,
+    /// First/last completion instants anchoring the throughput window.
+    window: Mutex<(Option<Instant>, Option<Instant>)>,
 }
 
-/// Live serving counters (interior-mutable, shared across workers).
-#[derive(Debug, Default)]
-pub struct ServeMetrics {
-    inner: Mutex<MetricsInner>,
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ServeMetrics {
-    /// Fresh, zeroed metrics.
+    /// Fresh, zeroed metrics over a private registry.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_registry(&MetricsRegistry::new())
+    }
+
+    /// Metrics recording into a shared registry (the server's
+    /// [`ObsHub`](zeus_obs::ObsHub) namespace).
+    pub fn with_registry(registry: &MetricsRegistry) -> Self {
+        ServeMetrics {
+            submitted: registry.counter("serve.submitted"),
+            admitted: registry.counter("serve.admitted"),
+            shed: registry.counter("serve.admit.shed"),
+            rejected_no_plan: registry.counter("serve.admit.no_plan"),
+            completed: registry.counter("serve.completed"),
+            cache_hits: registry.counter("cache.result.hit"),
+            cache_misses: registry.counter("cache.result.miss"),
+            coalesced: registry.counter("serve.coalesced"),
+            frames: registry.counter("serve.frames"),
+            latency: registry.histogram("serve.latency_us"),
+            device_us: AtomicU64::new(0),
+            window: Mutex::new((None, None)),
+        }
     }
 
     /// Record a submission attempt.
     pub fn on_submit(&self) {
-        self.inner.lock().unwrap().submitted += 1;
+        self.submitted.inc();
     }
 
     /// Record an admission into the queue.
     pub fn on_admit(&self) {
-        self.inner.lock().unwrap().admitted += 1;
+        self.admitted.inc();
     }
 
     /// Record a load-shed rejection.
     pub fn on_shed(&self) {
-        self.inner.lock().unwrap().shed += 1;
+        self.shed.inc();
     }
 
     /// Record a no-plan rejection.
     pub fn on_no_plan(&self) {
-        self.inner.lock().unwrap().rejected_no_plan += 1;
+        self.rejected_no_plan.inc();
     }
 
     /// Record a result-cache hit answering a query without execution.
     pub fn on_cache_hit(&self, latency: Duration) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.cache_hits += 1;
-        Self::complete(&mut inner, latency, 0.0, 0);
+        self.cache_hits.inc();
+        self.complete(latency, 0.0, 0);
     }
 
     /// Record a completed execution (cache miss path).
     pub fn on_executed(&self, latency: Duration, device_secs: f64, frames: u64) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.cache_misses += 1;
-        Self::complete(&mut inner, latency, device_secs, frames);
+        self.cache_misses.inc();
+        self.complete(latency, device_secs, frames);
     }
 
     /// Record a submission answered by coalescing onto an in-flight
     /// identical query (no execution of its own).
     pub fn on_coalesced(&self, latency: Duration) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.coalesced += 1;
-        Self::complete(&mut inner, latency, 0.0, 0);
+        self.coalesced.inc();
+        self.complete(latency, 0.0, 0);
     }
 
-    fn complete(inner: &mut MetricsInner, latency: Duration, device_secs: f64, frames: u64) {
-        inner.completed += 1;
-        inner.latencies_us.push(latency.as_micros() as u64);
-        inner.device_secs += device_secs;
-        inner.frames += frames;
+    fn complete(&self, latency: Duration, device_secs: f64, frames: u64) {
+        self.completed.inc();
+        self.latency.record_duration(latency);
+        if device_secs > 0.0 {
+            self.device_us
+                .fetch_add((device_secs * 1e6).round() as u64, Ordering::Relaxed);
+        }
+        self.frames.add(frames);
         let now = Instant::now();
-        inner.first_completion.get_or_insert(now);
-        inner.last_completion = Some(now);
+        let mut window = lock_recover(&self.window);
+        window.0.get_or_insert(now);
+        window.1 = Some(now);
+    }
+
+    /// Total simulated device seconds charged so far.
+    pub fn device_secs(&self) -> f64 {
+        self.device_us.load(Ordering::Relaxed) as f64 / 1e6
     }
 
     /// Take an immutable snapshot (queue depth and per-device busy time
     /// are sampled by the caller, which owns those structures).
     pub fn snapshot(&self, queue_depth: usize, device_busy_secs: Vec<f64>) -> MetricsSnapshot {
-        let inner = self.inner.lock().unwrap();
-        let mut sorted = inner.latencies_us.clone();
-        sorted.sort_unstable();
-        let pct = |p: f64| -> Duration {
-            if sorted.is_empty() {
-                return Duration::ZERO;
+        let hist = self.latency.inner();
+        let completed = self.completed.get();
+        let wall = {
+            let window = lock_recover(&self.window);
+            match *window {
+                (Some(a), Some(b)) if b > a => (b - a).as_secs_f64(),
+                _ => 0.0,
             }
-            let rank = ((sorted.len() as f64 * p).ceil() as usize).clamp(1, sorted.len());
-            Duration::from_micros(sorted[rank - 1])
-        };
-        let mean = if sorted.is_empty() {
-            Duration::ZERO
-        } else {
-            Duration::from_micros(sorted.iter().sum::<u64>() / sorted.len() as u64)
-        };
-        let wall = match (inner.first_completion, inner.last_completion) {
-            (Some(a), Some(b)) if b > a => (b - a).as_secs_f64(),
-            _ => 0.0,
         };
         MetricsSnapshot {
-            submitted: inner.submitted,
-            admitted: inner.admitted,
-            shed: inner.shed,
-            rejected_no_plan: inner.rejected_no_plan,
-            completed: inner.completed,
-            cache_hits: inner.cache_hits,
-            cache_misses: inner.cache_misses,
-            coalesced: inner.coalesced,
-            p50: pct(0.50),
-            p95: pct(0.95),
-            p99: pct(0.99),
-            mean,
+            submitted: self.submitted.get(),
+            admitted: self.admitted.get(),
+            shed: self.shed.get(),
+            rejected_no_plan: self.rejected_no_plan.get(),
+            completed,
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            coalesced: self.coalesced.get(),
+            p50: Duration::from_micros(hist.quantile(0.50)),
+            p95: Duration::from_micros(hist.quantile(0.95)),
+            p99: Duration::from_micros(hist.quantile(0.99)),
+            mean: Duration::from_micros(hist.mean()),
             throughput_qps: if wall > 0.0 {
                 // First completion anchors the window, so it is excluded
                 // from the rate numerator.
-                (inner.completed.saturating_sub(1)) as f64 / wall
+                completed.saturating_sub(1) as f64 / wall
             } else {
                 0.0
             },
             queue_depth,
-            device_secs: inner.device_secs,
-            frames: inner.frames,
+            device_secs: self.device_secs(),
+            frames: self.frames.get(),
             device_busy_secs,
         }
     }
@@ -160,13 +192,13 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     /// Submissions coalesced onto an in-flight identical query.
     pub coalesced: u64,
-    /// Median completion latency (wall clock).
+    /// Median completion latency (wall clock, within one log bucket).
     pub p50: Duration,
-    /// 95th-percentile latency.
+    /// 95th-percentile latency (within one log bucket).
     pub p95: Duration,
-    /// 99th-percentile latency.
+    /// 99th-percentile latency (within one log bucket).
     pub p99: Duration,
-    /// Mean latency.
+    /// Mean latency (exact).
     pub mean: Duration,
     /// Completions per wall-clock second over the completion window.
     pub throughput_qps: f64,
@@ -254,6 +286,20 @@ impl std::fmt::Display for MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zeus_obs::LogHistogram;
+
+    /// Percentile estimates must land in the same (or an adjacent) log
+    /// bucket as the exact order statistic — the bounded-memory
+    /// histogram's accuracy contract.
+    fn assert_within_one_bucket(est: Duration, exact: Duration, label: &str) {
+        let d = (LogHistogram::bucket_of(est.as_micros() as u64) as i64
+            - LogHistogram::bucket_of(exact.as_micros() as u64) as i64)
+            .abs();
+        assert!(
+            d <= 1,
+            "{label}: {est:?} vs exact {exact:?} ({d} buckets apart)"
+        );
+    }
 
     #[test]
     fn percentiles_over_known_distribution() {
@@ -263,13 +309,29 @@ mod tests {
         }
         let snap = m.snapshot(3, vec![1.0, 2.0]);
         assert_eq!(snap.completed, 100);
-        assert_eq!(snap.p50, Duration::from_millis(50));
-        assert_eq!(snap.p95, Duration::from_millis(95));
-        assert_eq!(snap.p99, Duration::from_millis(99));
+        assert_within_one_bucket(snap.p50, Duration::from_millis(50), "p50");
+        assert_within_one_bucket(snap.p95, Duration::from_millis(95), "p95");
+        assert_within_one_bucket(snap.p99, Duration::from_millis(99), "p99");
+        // The mean stays exact: sum(1..=100) ms / 100 = 50.5 ms.
+        assert_eq!(snap.mean, Duration::from_micros(50_500));
         assert_eq!(snap.queue_depth, 3);
         assert!((snap.device_secs - 50.0).abs() < 1e-9);
         assert_eq!(snap.frames, 1000);
         assert!((snap.device_imbalance() - 2.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_memory_stays_bounded() {
+        // The old recorder pushed every latency into a Vec; a sustained
+        // workload grew without bound. The histogram's storage is a
+        // fixed array regardless of volume.
+        let m = ServeMetrics::new();
+        for i in 0..50_000u64 {
+            m.on_executed(Duration::from_micros(1 + i % 10_000), 0.0, 0);
+        }
+        let snap = m.snapshot(0, vec![]);
+        assert_eq!(snap.completed, 50_000);
+        assert!(m.latency.inner().nonzero_buckets().len() <= 257);
     }
 
     #[test]
@@ -288,6 +350,19 @@ mod tests {
         assert_eq!(snap.rejected_no_plan, 1);
         assert!((snap.cache_hit_rate() - 0.5).abs() < 1e-12);
         assert!((snap.shed_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_a_registry_namespace() {
+        let registry = MetricsRegistry::new();
+        let m = ServeMetrics::with_registry(&registry);
+        m.on_submit();
+        m.on_shed();
+        m.on_cache_hit(Duration::from_micros(10));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.submitted"), Some(1));
+        assert_eq!(snap.counter("serve.admit.shed"), Some(1));
+        assert_eq!(snap.counter("cache.result.hit"), Some(1));
     }
 
     #[test]

@@ -43,6 +43,9 @@ use zeus_sim::{SimClock, SimDevice};
 use zeus_video::annotation::runs_from_labels;
 use zeus_video::{Video, VideoId};
 
+use zeus_obs::sync::lock_recover;
+use zeus_obs::ObsHub;
+
 use crate::admission::{AdmissionQueue, PopTimeout};
 use crate::cache::{CacheKey, CachedExecution, ResultCache};
 use crate::metrics::ServeMetrics;
@@ -137,7 +140,7 @@ impl ActiveQuery {
     /// Fails when the query has already finalized (caller re-checks the
     /// result cache, which finalize populated first).
     pub(crate) fn subscribe(&self, subscriber: Subscriber) -> Result<(), Subscriber> {
-        let mut state = self.state.lock().unwrap();
+        let mut state = lock_recover(&self.state);
         if state.closed {
             return Err(subscriber);
         }
@@ -162,6 +165,8 @@ pub(crate) struct PoolShared {
     pub(crate) devices: Vec<Mutex<SimDevice>>,
     pub(crate) cache: ResultCache,
     pub(crate) metrics: ServeMetrics,
+    /// The server's observability plane (shared registry + tracer).
+    pub(crate) obs: ObsHub,
     /// Canonical test-split videos, sorted by id; every query runs over
     /// this corpus and subtask `i` is `videos[i]`.
     pub(crate) videos: Vec<Video>,
@@ -172,7 +177,7 @@ impl PoolShared {
     pub(crate) fn device_busy_secs(&self) -> Vec<f64> {
         self.devices
             .iter()
-            .map(|d| d.lock().unwrap().busy_secs())
+            .map(|d| lock_recover(d).busy_secs())
             .collect()
     }
 }
@@ -212,24 +217,20 @@ pub(crate) fn worker_loop(shared: &PoolShared, worker: usize) {
 /// subtasks until none remain.
 fn own_query(shared: &PoolShared, worker: usize, task: Arc<ActiveQuery>) {
     let total = shared.videos.len();
-    shared.board.lock().unwrap().push(Arc::clone(&task));
+    lock_recover(&shared.board).push(Arc::clone(&task));
     while let Some(i) = task.claim(total) {
         execute_part(shared, worker, &task, i);
     }
     // Remaining parts (if any) are in flight on thieves; the last one to
     // finish assembles. Retire fully-claimed queries from the board.
-    shared
-        .board
-        .lock()
-        .unwrap()
-        .retain(|q| !q.fully_claimed(total));
+    lock_recover(&shared.board).retain(|q| !q.fully_claimed(total));
 }
 
 /// Claim one subtask from any in-flight query on the board.
 fn steal_one(shared: &PoolShared, worker: usize) -> bool {
     let total = shared.videos.len();
     let victim = {
-        let board = shared.board.lock().unwrap();
+        let board = lock_recover(&shared.board);
         board.iter().find(|q| !q.fully_claimed(total)).cloned()
     };
     match victim {
@@ -247,14 +248,19 @@ fn steal_one(shared: &PoolShared, worker: usize) -> bool {
 /// Run video `i` of `task` on this worker's device.
 fn execute_part(shared: &PoolShared, worker: usize, task: &Arc<ActiveQuery>, i: usize) {
     let video = &shared.videos[i];
+    let started = Instant::now();
     let mut clock = SimClock::new();
     let mut hist = ConfigHistogram::new();
     let labels = task.engine.execute_video(video, &mut clock, &mut hist);
+    // Per-part device execution feeds the `execute` stage aggregate (the
+    // full query-level `execute` span is timed by the submitter).
+    shared
+        .obs
+        .tracer
+        .record_stage("execute.part", started.elapsed());
 
     // Charge the simulated time to the executing device.
-    shared.devices[worker]
-        .lock()
-        .unwrap()
+    lock_recover(&shared.devices[worker])
         .clock_mut()
         .merge(&clock);
 
@@ -267,7 +273,7 @@ fn execute_part(shared: &PoolShared, worker: usize, task: &Arc<ActiveQuery>, i: 
         // Store the part and broadcast atomically, so a subscriber
         // attaching concurrently sees each video exactly once (replay or
         // broadcast, never both or neither).
-        let mut state = task.state.lock().unwrap();
+        let mut state = lock_recover(&task.state);
         for sub in &state.subscribers {
             let _ = sub.tx.send(event.clone());
         }
@@ -291,7 +297,7 @@ fn finalize(shared: &PoolShared, task: &Arc<ActiveQuery>) {
     //    open until step 3, and a follower attaching in the meantime
     //    must still receive the full per-video replay.
     let parts: Vec<Part> = {
-        let state = task.state.lock().unwrap();
+        let state = lock_recover(&task.state);
         state
             .parts
             .iter()
@@ -337,14 +343,14 @@ fn finalize(shared: &PoolShared, task: &Arc<ActiveQuery>) {
 
     // 3. Close: no more subscribers; drain the present ones.
     let subscribers: Vec<Subscriber> = {
-        let mut state = task.state.lock().unwrap();
+        let mut state = lock_recover(&task.state);
         state.closed = true;
         state.subscribers.drain(..).collect()
     };
     {
         // Remove only our own registration: belt-and-braces against ever
         // deleting a newer identical query's entry.
-        let mut inflight = shared.inflight.lock().unwrap();
+        let mut inflight = lock_recover(&shared.inflight);
         if inflight
             .get(&task.cache_key)
             .is_some_and(|current| Arc::ptr_eq(current, task))

@@ -193,6 +193,7 @@ mod tests {
             limit,
             latency_budget_ms: None,
             order,
+            explain: false,
         }
     }
 

@@ -136,6 +136,9 @@ pub struct ResponseStream {
     id: QueryId,
     rx: mpsc::Receiver<ResponseEvent>,
     refiner: Option<QueryRefiner>,
+    /// Sampled request trace: `wait` times its `execute`/`refine` spans
+    /// on it, and the trace tree publishes when the stream drops.
+    trace: Option<zeus_obs::Trace>,
 }
 
 impl ResponseStream {
@@ -144,6 +147,7 @@ impl ResponseStream {
             id,
             rx,
             refiner: None,
+            trace: None,
         }
     }
 
@@ -152,6 +156,12 @@ impl ResponseStream {
     /// outcomes carry the canonical answer set.
     pub(crate) fn with_refiner(mut self, refiner: QueryRefiner) -> Self {
         self.refiner = Some(refiner);
+        self
+    }
+
+    /// Attach a request trace (sampled submissions).
+    pub(crate) fn with_trace(mut self, trace: zeus_obs::Trace) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -193,23 +203,42 @@ impl ResponseStream {
         self.rx.recv().ok().map(|e| self.apply(e))
     }
 
+    /// Drain the stream to the raw (unrefined) final outcome — the
+    /// `execute` half of [`ResponseStream::wait`], split out so
+    /// `EXPLAIN ANALYZE` can time execution and refinement separately.
+    ///
+    /// Panics if the server dropped the channel without sending `Done`
+    /// (a server bug — every admitted query is answered).
+    pub(crate) fn wait_raw(&self) -> QueryOutcome {
+        loop {
+            match self.rx.recv() {
+                Ok(ResponseEvent::Done(outcome)) => return outcome,
+                Ok(ResponseEvent::Video { .. }) => continue,
+                Err(_) => panic!("server dropped response stream for {}", self.id),
+            }
+        }
+    }
+
+    /// Apply this stream's refiner to a raw outcome — the `refine` half
+    /// of [`ResponseStream::wait`].
+    pub(crate) fn refine_outcome(&self, outcome: QueryOutcome) -> QueryOutcome {
+        match self.apply(ResponseEvent::Done(outcome)) {
+            ResponseEvent::Done(outcome) => outcome,
+            ResponseEvent::Video { .. } => unreachable!("apply preserves variants"),
+        }
+    }
+
     /// Drain the stream to completion and return the final outcome.
     ///
     /// Panics if the server dropped the channel without sending `Done`
     /// (a server bug — every admitted query is answered).
     pub fn wait(self) -> QueryOutcome {
-        loop {
-            match self.rx.recv() {
-                Ok(ResponseEvent::Done(outcome)) => {
-                    return match self.apply(ResponseEvent::Done(outcome)) {
-                        ResponseEvent::Done(outcome) => outcome,
-                        ResponseEvent::Video { .. } => unreachable!("apply preserves variants"),
-                    }
-                }
-                Ok(ResponseEvent::Video { .. }) => continue,
-                Err(_) => panic!("server dropped response stream for {}", self.id),
-            }
-        }
+        let raw = {
+            let _span = self.trace.as_ref().map(|t| t.span("execute"));
+            self.wait_raw()
+        };
+        let _span = self.trace.as_ref().map(|t| t.span("refine"));
+        self.refine_outcome(raw)
     }
 }
 

@@ -24,6 +24,8 @@ use zeus_video::video::Split;
 use zeus_video::DataSource;
 
 use zeus_core::query::QueryIr;
+use zeus_obs::sync::lock_recover;
+use zeus_obs::{ExplainReport, ObsHub, ObsSnapshot, StageClock, Trace};
 
 use crate::admission::{AdmissionQueue, AdmitError};
 use crate::cache::{CacheKey, CorpusId, ResultCache};
@@ -103,6 +105,7 @@ pub struct ZeusServer {
     /// Exclude-span maps per distinct `AND NOT` class set: the corpus
     /// scan is paid once per set, not once per submission.
     exclude_spans: Mutex<HashMap<Vec<u8>, Arc<ExcludeSpans>>>,
+    obs: ObsHub,
 }
 
 impl ZeusServer {
@@ -136,6 +139,21 @@ impl ZeusServer {
         name: impl Into<String>,
         plans: impl Into<Arc<PlanStore>>,
         config: ServeConfig,
+    ) -> Result<ZeusServer, ServeError> {
+        Self::start_with_obs(source, name, plans, config, ObsHub::new())
+    }
+
+    /// [`ZeusServer::start_as`] recording into a caller-owned
+    /// observability hub: serving counters, the latency histogram, and
+    /// request traces land in `obs`'s shared namespace (the session
+    /// layer passes its own hub so training and serving telemetry share
+    /// one snapshot).
+    pub fn start_with_obs(
+        source: &dyn DataSource,
+        name: impl Into<String>,
+        plans: impl Into<Arc<PlanStore>>,
+        config: ServeConfig,
+        obs: ObsHub,
     ) -> Result<ZeusServer, ServeError> {
         // Normalize the served name so it can actually match parsed
         // `FROM` operands (the parser lowercases every routing name).
@@ -176,7 +194,8 @@ impl ZeusServer {
             inflight: Mutex::new(std::collections::HashMap::new()),
             devices: pool.into_devices().into_iter().map(Mutex::new).collect(),
             cache: ResultCache::new(config.cache_capacity),
-            metrics: ServeMetrics::new(),
+            metrics: ServeMetrics::with_registry(&obs.metrics),
+            obs: obs.clone(),
             videos,
         });
         let handles = (0..config.workers)
@@ -199,6 +218,7 @@ impl ZeusServer {
             next_id: AtomicU64::new(0),
             handles: Mutex::new(handles),
             exclude_spans: Mutex::new(HashMap::new()),
+            obs,
         })
     }
 
@@ -249,6 +269,16 @@ impl ZeusServer {
         ir: &QueryIr,
         priority: Option<Priority>,
     ) -> Result<ResponseStream, AdmitError> {
+        self.submit_ir_staged(ir, priority, None, None)
+    }
+
+    fn submit_ir_staged(
+        &self,
+        ir: &QueryIr,
+        priority: Option<Priority>,
+        clock: Option<&mut StageClock>,
+        trace: Option<&Trace>,
+    ) -> Result<ResponseStream, AdmitError> {
         if let Some(requested) = &ir.source {
             if requested != &self.dataset_name {
                 return Err(AdmitError::WrongDataset {
@@ -258,7 +288,13 @@ impl ZeusServer {
             }
         }
         let priority = priority.unwrap_or_else(|| priority_for_budget(ir.latency_budget_ms));
-        let stream = self.submit_with(ir.base.clone(), priority, self.config.executor)?;
+        let stream = self.submit_staged(
+            ir.base.clone(),
+            priority,
+            self.config.executor,
+            clock,
+            trace,
+        )?;
         // Resolve the exclude-span map from the per-set cache so the
         // admission path never re-scans the corpus for a repeated
         // `AND NOT` set.
@@ -277,7 +313,7 @@ impl ZeusServer {
                 .collect();
             key.sort_unstable();
             key.dedup();
-            let cached = self.exclude_spans.lock().unwrap().get(&key).cloned();
+            let cached = lock_recover(&self.exclude_spans).get(&key).cloned();
             match cached {
                 Some(spans) => spans,
                 None => {
@@ -286,7 +322,7 @@ impl ZeusServer {
                     // insert keeps one copy if two submissions race.
                     let computed =
                         Arc::new(compute_exclude_spans(&ir.exclude, &self.shared.videos));
-                    let mut cache = self.exclude_spans.lock().unwrap();
+                    let mut cache = lock_recover(&self.exclude_spans);
                     Arc::clone(cache.entry(key).or_insert(computed))
                 }
             }
@@ -305,6 +341,23 @@ impl ZeusServer {
         priority: Priority,
         executor: ExecutorKind,
     ) -> Result<ResponseStream, AdmitError> {
+        self.submit_staged(query, priority, executor, None, None)
+    }
+
+    /// [`ZeusServer::submit_with`] plus stage instrumentation: every
+    /// admission-path stage (`cache`, `plan`, `admission`) is recorded
+    /// into the tracer's aggregates; an `EXPLAIN ANALYZE` caller passes a
+    /// [`StageClock`] (contiguous checkpoints) and a [`Trace`] to get the
+    /// full per-request tree. Hot-path submissions with neither still
+    /// grow a sampled trace tree every [`TRACE_SAMPLE`]th request.
+    fn submit_staged(
+        &self,
+        query: ActionQuery,
+        priority: Priority,
+        executor: ExecutorKind,
+        clock: Option<&mut StageClock>,
+        trace: Option<&Trace>,
+    ) -> Result<ResponseStream, AdmitError> {
         let submitted = Instant::now();
         self.shared.metrics.on_submit();
         if !servable(executor) {
@@ -314,6 +367,12 @@ impl ZeusServer {
             });
         }
         let id = QueryId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        // Hot-path submissions grow a sampled trace tree (deterministic,
+        // id-based — no RNG); explain callers pass their own trace.
+        let sampled = (clock.is_none() && trace.is_none() && id.0.is_multiple_of(TRACE_SAMPLE))
+            .then(|| self.obs.tracer.trace("serve.submit"));
+        let trace = trace.or(sampled.as_ref());
+        let mut stages = StageScope::new(&self.obs, clock, trace, submitted);
         let cache_key = CacheKey::new(&query, self.corpus, executor);
 
         let (tx, rx) = mpsc::channel();
@@ -326,20 +385,24 @@ impl ZeusServer {
         };
 
         // 1. Result cache.
+        stages.enter("cache");
         if let Some(cached) = self.shared.cache.get(&cache_key) {
             self.replay_cached(&query, executor, &subscriber, &cached);
-            return Ok(ResponseStream::new(id, rx));
+            drop(stages);
+            return Ok(attach_trace(ResponseStream::new(id, rx), &sampled));
         }
 
         // 2. Coalesce onto an identical in-flight query: the follower
         //    subscribes to the running execution instead of re-running it.
         {
-            let inflight = self.shared.inflight.lock().unwrap();
+            let inflight = lock_recover(&self.shared.inflight);
             if let Some(task) = inflight.get(&cache_key) {
                 match task.subscribe(subscriber) {
                     Ok(()) => {
                         self.shared.metrics.on_admit();
-                        return Ok(ResponseStream::new(id, rx));
+                        drop(inflight);
+                        drop(stages);
+                        return Ok(attach_trace(ResponseStream::new(id, rx), &sampled));
                     }
                     // The query finalized between our cache miss and now;
                     // finalize publishes to the cache before closing, so
@@ -350,10 +413,12 @@ impl ZeusServer {
         }
         if let Some(cached) = self.shared.cache.get(&cache_key) {
             self.replay_cached(&query, executor, &subscriber, &cached);
-            return Ok(ResponseStream::new(id, rx));
+            drop(stages);
+            return Ok(attach_trace(ResponseStream::new(id, rx), &sampled));
         }
 
         // 3. Plan resolution (never trains inline).
+        stages.enter("plan");
         let stored = self.plans.get(self.corpus, &query).ok_or_else(|| {
             self.shared.metrics.on_no_plan();
             AdmitError::NoPlan {
@@ -377,8 +442,9 @@ impl ZeusServer {
             Finalized(Subscriber),
             Rejected(AdmitError),
         }
+        stages.enter("admission");
         let admitted = {
-            let mut inflight = self.shared.inflight.lock().unwrap();
+            let mut inflight = lock_recover(&self.shared.inflight);
             if let Some(existing) = inflight.get(&cache_key) {
                 subscriber.coalesced = true;
                 match existing.subscribe(subscriber) {
@@ -405,10 +471,11 @@ impl ZeusServer {
                 }
             }
         };
+        drop(stages);
         match admitted {
             Admitted::Queued | Admitted::Coalesced => {
                 self.shared.metrics.on_admit();
-                Ok(ResponseStream::new(id, rx))
+                Ok(attach_trace(ResponseStream::new(id, rx), &sampled))
             }
             Admitted::Finalized(returned) => {
                 // The in-flight query finalized under our feet; finalize
@@ -420,7 +487,7 @@ impl ZeusServer {
                     .get(&cache_key)
                     .expect("finalized query must be cached before closing");
                 self.replay_cached(&query, executor, &returned, &cached);
-                Ok(ResponseStream::new(id, rx))
+                Ok(attach_trace(ResponseStream::new(id, rx), &sampled))
             }
             Admitted::Rejected(e) => {
                 if matches!(e, AdmitError::QueueFull { .. }) {
@@ -429,6 +496,49 @@ impl ZeusServer {
                 Err(e)
             }
         }
+    }
+
+    /// `EXPLAIN ANALYZE`: submit `ir`, wait for its outcome, and return
+    /// it with a per-stage timing report. The stages (`cache`, `plan`,
+    /// `admission`, `execute`, `refine`) are contiguous checkpoint
+    /// deltas, so their sum equals the measured end-to-end latency by
+    /// construction; stages a fast path skipped appear with zero width.
+    pub fn explain_ir(
+        &self,
+        ir: &QueryIr,
+        priority: Option<Priority>,
+    ) -> Result<(QueryOutcome, ExplainReport), AdmitError> {
+        let mut clock = StageClock::new();
+        let trace = self.obs.tracer.trace("serve.explain");
+        let stream = self.submit_ir_staged(ir, priority, Some(&mut clock), Some(&trace))?;
+        for name in ["cache", "plan", "admission"] {
+            if !clock.stages().iter().any(|s| s.name == name) {
+                clock.mark(name);
+            }
+        }
+        let raw = {
+            let _span = trace.span("execute");
+            stream.wait_raw()
+        };
+        clock.mark("execute");
+        clock.set_device_secs(raw.result.elapsed_secs);
+        let outcome = {
+            let _span = trace.span("refine");
+            stream.refine_outcome(raw)
+        };
+        clock.mark("refine");
+        let device_secs = outcome.result.elapsed_secs;
+        let (stage_timings, total) = clock.finish();
+        let report = ExplainReport {
+            query: ir.to_sql(),
+            executor: outcome.executor.name().to_string(),
+            from_cache: outcome.from_cache,
+            coalesced: outcome.from_cache && !outcome.labels.is_empty() && outcome.latency > total,
+            stages: stage_timings,
+            total,
+            device_secs,
+        };
+        Ok((outcome, report))
     }
 
     /// Answer a submission from a cached execution: replay per-video
@@ -480,11 +590,43 @@ impl ZeusServer {
             .snapshot(self.shared.queue.depth(), self.shared.device_busy_secs())
     }
 
+    /// The server's observability hub (shared metric registry + tracer).
+    pub fn obs(&self) -> &ObsHub {
+        &self.obs
+    }
+
+    /// Handle onto the span tracer — the sink `zeus trace` exports trace
+    /// trees and per-stage aggregates from.
+    pub fn trace_sink(&self) -> zeus_obs::Tracer {
+        self.obs.tracer.clone()
+    }
+
+    /// One-stop observability snapshot: samples queue depth and
+    /// per-device utilization into gauges, then returns the full metric
+    /// namespace (serving counters, latency histogram, cache hit/miss).
+    pub fn snapshot(&self) -> ObsSnapshot {
+        self.obs
+            .metrics
+            .gauge("serve.queue.depth")
+            .set(self.shared.queue.depth() as f64);
+        self.obs
+            .metrics
+            .gauge("serve.device_secs")
+            .set(self.shared.metrics.device_secs());
+        for (i, busy) in self.shared.device_busy_secs().iter().enumerate() {
+            self.obs
+                .metrics
+                .gauge(&format!("pool.device.{i}.busy_secs"))
+                .set(*busy);
+        }
+        self.obs.metrics.snapshot()
+    }
+
     /// Stop admitting, drain pending queries, and join the pool. Safe to
     /// call more than once.
     pub fn shutdown(&self) {
         self.shared.queue.close();
-        let handles: Vec<_> = self.handles.lock().unwrap().drain(..).collect();
+        let handles: Vec<_> = lock_recover(&self.handles).drain(..).collect();
         for h in handles {
             let _ = h.join();
         }
@@ -494,6 +636,77 @@ impl ZeusServer {
 impl Drop for ZeusServer {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Every `TRACE_SAMPLE`th plain submission records a full trace tree
+/// (deterministic id-based sampling; stage aggregates always record).
+const TRACE_SAMPLE: u64 = 16;
+
+fn attach_trace(stream: ResponseStream, sampled: &Option<Trace>) -> ResponseStream {
+    match sampled {
+        Some(trace) => stream.with_trace(trace.clone()),
+        None => stream,
+    }
+}
+
+/// Tracks the admission path's current stage: `enter` closes the
+/// previous stage (checkpoint mark + tracer aggregate + trace span) and
+/// opens the next; dropping the scope closes the last one, so early
+/// returns stay accounted.
+struct StageScope<'a> {
+    obs: &'a ObsHub,
+    clock: Option<&'a mut StageClock>,
+    trace: Option<&'a Trace>,
+    span: Option<zeus_obs::SpanGuard>,
+    current: Option<&'static str>,
+    last: Instant,
+}
+
+impl<'a> StageScope<'a> {
+    fn new(
+        obs: &'a ObsHub,
+        clock: Option<&'a mut StageClock>,
+        trace: Option<&'a Trace>,
+        start: Instant,
+    ) -> Self {
+        StageScope {
+            obs,
+            clock,
+            trace,
+            span: None,
+            current: None,
+            last: start,
+        }
+    }
+
+    fn enter(&mut self, name: &'static str) {
+        self.close();
+        self.current = Some(name);
+        self.span = self.trace.map(|t| t.span(name));
+    }
+
+    fn close(&mut self) {
+        if let Some(name) = self.current.take() {
+            let now = Instant::now();
+            // A live span records the stage aggregate on drop; only the
+            // span-less hot path records it directly.
+            if self.span.take().is_none() {
+                self.obs
+                    .tracer
+                    .record_stage(name, now.saturating_duration_since(self.last));
+            }
+            if let Some(clock) = self.clock.as_deref_mut() {
+                clock.mark(name);
+            }
+            self.last = now;
+        }
+    }
+}
+
+impl Drop for StageScope<'_> {
+    fn drop(&mut self) {
+        self.close();
     }
 }
 

@@ -23,12 +23,15 @@
 //! * [`core`] — the Zeus query planner, executor, baselines, and metrics.
 //! * [`serve`] — the concurrent query-serving subsystem (admission
 //!   control, device-pool scheduling, result caching).
+//! * [`obs`] — the observability plane (metrics registry, span tracer,
+//!   `EXPLAIN ANALYZE` reports).
 
 #![warn(missing_docs)]
 pub use zeus_apfg as apfg;
 pub use zeus_api as api;
 pub use zeus_core as core;
 pub use zeus_nn as nn;
+pub use zeus_obs as obs;
 pub use zeus_rl as rl;
 pub use zeus_serve as serve;
 pub use zeus_sim as sim;
@@ -46,6 +49,7 @@ pub mod prelude {
     pub use zeus_core::metrics::EvalReport;
     pub use zeus_core::planner::{PlannerOptions, QueryPlanner};
     pub use zeus_core::query::ActionQuery;
+    pub use zeus_obs::{ExplainReport, MetricsRegistry, ObsHub, ObsSnapshot, Tracer};
     pub use zeus_serve::{CorpusId, PlanStore, Priority, ServeConfig, WorkloadSpec, ZeusServer};
     pub use zeus_video::datasets::{ConfigFamily, DatasetKind, DatasetProfile, SyntheticDataset};
     pub use zeus_video::registry::DatasetRegistry;

@@ -28,6 +28,7 @@ proptest! {
         (t0, len, has_window) in (0usize..500, 1usize..500, any::<bool>()),
         (budget_ms, has_budget) in (1usize..10_000, any::<bool>()),
         order_pick in 0usize..3,
+        explain in any::<bool>(),
     ) {
         let all = ActionClass::ALL;
         let mut classes = vec![all[class_pick]];
@@ -54,8 +55,37 @@ proptest! {
                 1 => Some(OrderBy::ConfidenceDesc),
                 _ => Some(OrderBy::ConfidenceAsc),
             },
+            explain,
         };
         prop_assert_eq!(parse_zql(&ir.to_sql()), Ok(ir));
+    }
+
+    // ---------- observability ----------
+
+    /// Histogram quantile estimates always land in the same log bucket
+    /// as the exact order statistic, for arbitrary value streams and
+    /// quantiles; count and sum stay exact.
+    #[test]
+    fn histogram_quantiles_stay_within_one_bucket(
+        values in prop::collection::vec(0u64..1_000_000, 1..400),
+        q_pct in 0usize..=100,
+    ) {
+        use zeus::obs::LogHistogram;
+        let h = LogHistogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let q = q_pct as f64 / 100.0;
+        let n = sorted.len();
+        let rank = ((n as f64 * q).ceil() as usize).clamp(1, n);
+        let exact = sorted[rank - 1];
+        let est = h.quantile(q);
+        let d = (LogHistogram::bucket_of(est) as i64 - LogHistogram::bucket_of(exact) as i64).abs();
+        prop_assert!(d <= 1, "q{q_pct}: est {est} vs exact {exact} ({d} buckets apart)");
+        prop_assert_eq!(h.count(), n as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
     }
 
     // ---------- annotation / IoU ----------
