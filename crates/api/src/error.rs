@@ -4,6 +4,7 @@
 use zeus_core::catalog::CatalogError;
 use zeus_core::planner::PlanError;
 use zeus_core::query::ParseError;
+use zeus_fleet::FleetError;
 use zeus_serve::{AdmitError, ServeError};
 use zeus_video::DataError;
 
@@ -22,6 +23,9 @@ pub enum ZeusError {
     Admit(AdmitError),
     /// The serving engine could not be started.
     Serve(ServeError),
+    /// The serving fleet refused: bad topology, unknown dataset route,
+    /// tenant over quota, or every candidate shard saturated.
+    Fleet(FleetError),
     /// The plan catalog was unreadable or corrupt.
     Catalog(CatalogError),
     /// The data plane refused: invalid profile, corrupt `.zds` file,
@@ -49,6 +53,7 @@ impl std::fmt::Display for ZeusError {
             ZeusError::Plan(e) => write!(f, "planning error: {e}"),
             ZeusError::Admit(e) => write!(f, "admission error: {e}"),
             ZeusError::Serve(e) => write!(f, "serving error: {e}"),
+            ZeusError::Fleet(e) => write!(f, "fleet error: {e}"),
             ZeusError::Catalog(e) => write!(f, "catalog error: {e}"),
             ZeusError::Data(e) => write!(f, "data error: {e}"),
             ZeusError::UnknownDataset { name, available } => write!(
@@ -69,6 +74,7 @@ impl std::error::Error for ZeusError {
             ZeusError::Plan(e) => Some(e),
             ZeusError::Admit(e) => Some(e),
             ZeusError::Serve(e) => Some(e),
+            ZeusError::Fleet(e) => Some(e),
             ZeusError::Catalog(e) => Some(e),
             ZeusError::Data(e) => Some(e),
             ZeusError::Io(e) => Some(e),
@@ -98,6 +104,12 @@ impl From<AdmitError> for ZeusError {
 impl From<ServeError> for ZeusError {
     fn from(e: ServeError) -> Self {
         ZeusError::Serve(e)
+    }
+}
+
+impl From<FleetError> for ZeusError {
+    fn from(e: FleetError) -> Self {
+        ZeusError::Fleet(e)
     }
 }
 
@@ -167,6 +179,14 @@ mod tests {
                 "Frame-PP",
             ),
             (
+                ZeusError::Fleet(FleetError::QuotaExceeded {
+                    tenant: zeus_fleet::TenantId::new("acme"),
+                    overage: 2.5,
+                }),
+                "fleet error",
+                "acme",
+            ),
+            (
                 ZeusError::Catalog(CatalogError::Corrupt("bad magic".into())),
                 "catalog error",
                 "bad magic",
@@ -224,6 +244,10 @@ mod tests {
         assert!(matches!(
             ZeusError::from(ServeError::EmptyCorpus),
             ZeusError::Serve(_)
+        ));
+        assert!(matches!(
+            ZeusError::from(FleetError::NoShards),
+            ZeusError::Fleet(_)
         ));
         assert!(matches!(
             ZeusError::from(CatalogError::Corrupt("x".into())),

@@ -21,7 +21,9 @@ use zeus_core::planner::{ConfigProfile, PlanError, PlannerOptions, QueryPlan, Qu
 use zeus_core::query::{parse_zql, ActionQuery, QueryIr};
 use zeus_core::result::{ConfigHistogram, QueryResult};
 use zeus_core::ExecutorKind;
+use zeus_fleet::{FleetConfig, FleetRouter};
 use zeus_obs::{ExplainReport, ObsHub, ObsSnapshot, StageClock, Tracer};
+use zeus_serve::quota::TenantId;
 use zeus_serve::{CorpusId, PlanStore, QueryRefiner, SegmentHit, ServeConfig, ZeusServer};
 use zeus_sim::SimClock;
 use zeus_video::annotation::runs_from_labels;
@@ -69,6 +71,7 @@ pub struct ZeusSessionBuilder {
     catalog: Option<PathBuf>,
     executor: ExecutorKind,
     obs: Option<ObsHub>,
+    tenant: Option<TenantId>,
 }
 
 impl std::fmt::Debug for ZeusSessionBuilder {
@@ -83,6 +86,7 @@ impl std::fmt::Debug for ZeusSessionBuilder {
             .field("seed", &self.seed)
             .field("catalog", &self.catalog)
             .field("executor", &self.executor)
+            .field("tenant", &self.tenant)
             .finish()
     }
 }
@@ -100,6 +104,7 @@ impl Default for ZeusSessionBuilder {
             catalog: None,
             executor: ExecutorKind::ZeusRl,
             obs: None,
+            tenant: None,
         }
     }
 }
@@ -239,6 +244,16 @@ impl ZeusSessionBuilder {
         self
     }
 
+    /// The tenant identity this session submits serving traffic as.
+    /// Threaded through fleet submissions ([`ZeusSession::fleet`]) and
+    /// tenant-attributed server submissions, where per-tenant admission
+    /// quotas are enforced. Defaults to the anonymous `"default"`
+    /// tenant.
+    pub fn tenant(mut self, tenant: impl Into<TenantId>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
     /// Materialize every registered source and assemble the session.
     /// Fails (typed, no panics) on a degenerate scale, an unusable
     /// catalog directory or `.zds` file, duplicate or invalid dataset
@@ -313,6 +328,7 @@ impl ZeusSessionBuilder {
             plans: Arc::new(plans),
             executor: self.executor,
             obs: self.obs.unwrap_or_default(),
+            tenant: self.tenant.unwrap_or_default(),
             plan_cache: RwLock::new(HashMap::new()),
             plan_locks: Mutex::new(HashMap::new()),
             profile_cache: RwLock::new(HashMap::new()),
@@ -393,6 +409,9 @@ pub struct ZeusSession {
     /// tracer shared by the planner, the training plane, and any server
     /// started via [`Self::serve`].
     obs: ObsHub,
+    /// The identity fleet submissions are attributed (and quota-charged)
+    /// to.
+    tenant: TenantId,
     /// Full trained plans (with profiles) per (corpus, query core); the
     /// `PlanStore` holds the serialized form used by serving and the
     /// catalog.
@@ -457,6 +476,12 @@ impl ZeusSession {
     /// The session's observability hub (metric registry + span tracer).
     pub fn obs(&self) -> &ObsHub {
         &self.obs
+    }
+
+    /// The tenant identity this session's fleet traffic is attributed
+    /// to (see [`ZeusSessionBuilder::tenant`]).
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
     }
 
     /// A point-in-time snapshot of every metric the session (and any
@@ -533,6 +558,28 @@ impl ZeusSession {
             Arc::clone(&self.plans),
             config,
             self.obs.clone(),
+        )?)
+    }
+
+    /// Start a sharded serving fleet over *every* registered corpus.
+    ///
+    /// Each corpus is rendezvous-assigned to a primary shard and its
+    /// session-trained plans are seeded there; sibling shards start cold
+    /// and warm up through hot-plan replication. Submit with
+    /// [`zeus_fleet::FleetRouter::submit`], attributing requests to this
+    /// session's [`Self::tenant`] (or any other tenant) — the fleet's
+    /// fair-share gate enforces per-tenant quotas at the router.
+    pub fn fleet(&self, config: FleetConfig) -> Result<FleetRouter, ZeusError> {
+        let sources: Vec<(String, SharedSource)> = self
+            .sources
+            .iter()
+            .map(|s| (s.name.clone(), Arc::clone(&s.source)))
+            .collect();
+        Ok(FleetRouter::build(
+            &sources,
+            &self.default_source,
+            &self.plans,
+            config,
         )?)
     }
 

@@ -40,8 +40,6 @@ pub use metrics::{EvalProtocol, EvalReport};
 pub use planner::{
     ConfigProfile, EngineSet, PlanError, PlannerOptions, QueryPlan, QueryPlanner, TrainingCosts,
 };
-#[allow(deprecated)]
-pub use query::parse_query;
 pub use query::{parse_zql, ActionQuery, OrderBy, ParseError, QueryIr};
 pub use result::{ConfigHistogram, ExecutionResult, QueryResult};
 pub use training::{

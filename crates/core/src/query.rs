@@ -280,8 +280,7 @@ impl QueryIr {
     }
 }
 
-/// Errors from [`parse_zql`] / [`parse_query`] and the query
-/// constructors.
+/// Errors from [`parse_zql`] and the query constructors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ParseError {
     /// The query skeleton (SELECT ... FROM ... WHERE ...) is absent.
@@ -335,16 +334,6 @@ impl std::fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
-
-/// Parse the classic SQL-ish action-query dialect of §1, discarding any
-/// extended clauses.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `parse_zql` (or `ZeusSession::query`) which returns the full QueryIr"
-)]
-pub fn parse_query(sql: &str) -> Result<ActionQuery, ParseError> {
-    parse_zql(sql).map(|ir| ir.base)
-}
 
 /// Split `sql` at the first occurrence of a keyword (already-lowercased
 /// haystack), returning (before, after-keyword).
@@ -885,13 +874,13 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_parse_query_still_returns_the_base() {
-        let q = parse_query(
+    fn classic_dialect_base_is_exposed_on_the_ir() {
+        let ir = parse_zql(
             "SELECT segment_ids FROM UDF(video) \
              WHERE action_class = 'left-turn' AND accuracy >= 80% LIMIT 3",
         )
         .unwrap();
-        assert_eq!(q.classes, vec![ActionClass::LeftTurn]);
+        assert_eq!(ir.base.classes, vec![ActionClass::LeftTurn]);
+        assert_eq!(ir.limit, Some(3));
     }
 }

@@ -1,0 +1,125 @@
+//! Rendezvous (highest-random-weight) hashing: the corpus → shard
+//! assignment function.
+//!
+//! Every `(corpus, shard)` pair gets a deterministic pseudo-random
+//! score; a corpus lives on the shard with the highest score. The
+//! assignment is a **pure function** of the corpus fingerprint and the
+//! shard count — no state, no RNG, no coordination — so every router
+//! instance (and every restart) computes the same placement. Growing
+//! the fleet from `N` to `N+1` shards only moves the corpora whose new
+//! shard now scores highest: an expected `1/(N+1)` of keys, and every
+//! moved key moves *to* the new shard — the minimal-disruption property
+//! consistent-hashing schemes exist for, without a ring to maintain.
+
+use zeus_serve::CorpusId;
+
+/// FNV-1a offset basis / prime (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The deterministic rendezvous score of one `(corpus, shard)` pair:
+/// FNV-1a over the corpus fingerprint bytes then the shard index bytes,
+/// finished with a 64-bit avalanche so near-identical inputs spread.
+pub fn score(corpus: CorpusId, shard: usize) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in corpus.0.to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    for b in (shard as u64).to_le_bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+    // splitmix64-style finalizer: FNV alone is weak in the high bits.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The shard that owns `corpus` in a fleet of `shards`.
+///
+/// # Panics
+/// With zero shards (an empty fleet owns nothing).
+pub fn primary(corpus: CorpusId, shards: usize) -> usize {
+    assert!(shards > 0, "rendezvous hash over an empty shard set");
+    (0..shards)
+        .max_by_key(|&s| (score(corpus, s), s))
+        .expect("non-empty range")
+}
+
+/// All shards ordered by descending rendezvous score for `corpus`:
+/// `rank(..)[0]` is the primary, the rest is the deterministic failover
+/// / replication order.
+pub fn rank(corpus: CorpusId, shards: usize) -> Vec<usize> {
+    assert!(shards > 0, "rendezvous hash over an empty shard set");
+    let mut order: Vec<usize> = (0..shards).collect();
+    order.sort_by_key(|&s| std::cmp::Reverse((score(corpus, s), s)));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn primary_is_rank_head_and_rank_is_a_permutation() {
+        for fp in [0u64, 1, 0xDEAD_BEEF, u64::MAX] {
+            let corpus = CorpusId(fp);
+            for shards in 1..=9 {
+                let order = rank(corpus, shards);
+                assert_eq!(order[0], primary(corpus, shards));
+                let mut sorted = order.clone();
+                sorted.sort_unstable();
+                assert_eq!(sorted, (0..shards).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    proptest! {
+        /// Pure and restart-stable: the assignment depends on nothing
+        /// but `(corpus, shard count)`.
+        #[test]
+        fn assignment_is_a_pure_function(fp in 0u64..u64::MAX, shards in 1usize..12) {
+            let corpus = CorpusId(fp);
+            prop_assert_eq!(primary(corpus, shards), primary(corpus, shards));
+            prop_assert_eq!(rank(corpus, shards), rank(corpus, shards));
+        }
+
+        /// Growing N → N+1 moves fewer than 2/N of keys, and every
+        /// moved key lands on the new shard (the rendezvous minimal-
+        /// disruption property). 2/N is roughly double the expected
+        /// 1/(N+1), so the bound holds with margin over any key sample.
+        #[test]
+        fn resharding_moves_less_than_two_over_n(seed in 0u64..1_000_000, shards in 2usize..10) {
+            let keys: Vec<CorpusId> = (0..2_000u64)
+                .map(|i| CorpusId(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i * 0x517c_c1b7_2722_0a95)))
+                .collect();
+            let mut moved = 0usize;
+            for &k in &keys {
+                let before = primary(k, shards);
+                let after = primary(k, shards + 1);
+                if before != after {
+                    moved += 1;
+                    prop_assert_eq!(after, shards, "moved keys must move to the new shard only");
+                }
+            }
+            let bound = 2.0 / shards as f64;
+            let frac = moved as f64 / keys.len() as f64;
+            prop_assert!(frac < bound, "moved {frac:.4} of keys, bound {bound:.4}");
+        }
+
+        /// Placement spreads: over many keys every shard owns something
+        /// (no degenerate all-keys-on-one-shard hash).
+        #[test]
+        fn every_shard_owns_some_keys(shards in 2usize..8) {
+            let mut counts = vec![0usize; shards];
+            for i in 0..1_000u64 {
+                counts[primary(CorpusId(i.wrapping_mul(0xA076_1D64_78BD_642F)), shards)] += 1;
+            }
+            for (s, &c) in counts.iter().enumerate() {
+                prop_assert!(c > 0, "shard {s} owns no keys");
+            }
+        }
+    }
+}

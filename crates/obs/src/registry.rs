@@ -231,6 +231,126 @@ impl ObsSnapshot {
         })
     }
 
+    /// Merge per-shard snapshots into one fleet-wide rollup, by metric
+    /// name:
+    ///
+    /// * counters **sum** (total submissions across the fleet);
+    /// * gauges **sum** — the fleet-level reading of the gauges this
+    ///   workspace exports (queue depths, device-seconds) is the total
+    ///   across shards, not an average;
+    /// * histograms merge their summaries: counts sum, the mean is the
+    ///   count-weighted mean, and each percentile is the **max** across
+    ///   shards — a conservative upper bound, since exact cross-shard
+    ///   percentiles would need the raw buckets a summary no longer has.
+    ///
+    /// A name registered with different kinds across shards keeps the
+    /// first kind seen and ignores mismatching samples (same
+    /// telemetry-never-panics policy as the registry). The result is
+    /// sorted by name like any registry snapshot.
+    pub fn merge(parts: &[ObsSnapshot]) -> ObsSnapshot {
+        #[derive(Clone)]
+        enum Acc {
+            Counter(u64),
+            Gauge(f64),
+            Histogram {
+                count: u64,
+                mean_sum: f64,
+                p50: u64,
+                p95: u64,
+                p99: u64,
+            },
+        }
+        let mut merged: BTreeMap<&str, Acc> = BTreeMap::new();
+        for part in parts {
+            for s in &part.samples {
+                match (merged.get_mut(s.name.as_str()), &s.value) {
+                    (None, MetricValue::Counter(v)) => {
+                        merged.insert(&s.name, Acc::Counter(*v));
+                    }
+                    (None, MetricValue::Gauge(v)) => {
+                        merged.insert(&s.name, Acc::Gauge(*v));
+                    }
+                    (
+                        None,
+                        MetricValue::Histogram {
+                            count,
+                            mean,
+                            p50,
+                            p95,
+                            p99,
+                        },
+                    ) => {
+                        merged.insert(
+                            &s.name,
+                            Acc::Histogram {
+                                count: *count,
+                                mean_sum: *mean as f64 * *count as f64,
+                                p50: *p50,
+                                p95: *p95,
+                                p99: *p99,
+                            },
+                        );
+                    }
+                    (Some(Acc::Counter(acc)), MetricValue::Counter(v)) => *acc += v,
+                    (Some(Acc::Gauge(acc)), MetricValue::Gauge(v)) => *acc += v,
+                    (
+                        Some(Acc::Histogram {
+                            count,
+                            mean_sum,
+                            p50,
+                            p95,
+                            p99,
+                        }),
+                        MetricValue::Histogram {
+                            count: c,
+                            mean: m,
+                            p50: a,
+                            p95: b,
+                            p99: d,
+                        },
+                    ) => {
+                        *count += c;
+                        *mean_sum += *m as f64 * *c as f64;
+                        *p50 = (*p50).max(*a);
+                        *p95 = (*p95).max(*b);
+                        *p99 = (*p99).max(*d);
+                    }
+                    // Kind mismatch: keep the first-seen kind.
+                    (Some(_), _) => {}
+                }
+            }
+        }
+        ObsSnapshot {
+            samples: merged
+                .into_iter()
+                .map(|(name, acc)| MetricSample {
+                    name: name.to_string(),
+                    value: match acc {
+                        Acc::Counter(v) => MetricValue::Counter(v),
+                        Acc::Gauge(v) => MetricValue::Gauge(v),
+                        Acc::Histogram {
+                            count,
+                            mean_sum,
+                            p50,
+                            p95,
+                            p99,
+                        } => MetricValue::Histogram {
+                            count,
+                            mean: if count == 0 {
+                                0
+                            } else {
+                                (mean_sum / count as f64).round() as u64
+                            },
+                            p50,
+                            p95,
+                            p99,
+                        },
+                    },
+                })
+                .collect(),
+        }
+    }
+
     /// The snapshot as a single JSON object (`{"name": value, ...}`;
     /// histograms nest their summary fields).
     pub fn to_json(&self) -> String {
@@ -352,6 +472,60 @@ mod tests {
             }
         });
         assert_eq!(reg.snapshot().counter("contended"), Some(threads * per));
+    }
+
+    #[test]
+    fn merge_sums_counters_and_gauges_and_combines_histograms() {
+        let (a, b) = (MetricsRegistry::new(), MetricsRegistry::new());
+        a.counter("serve.submitted").add(3);
+        b.counter("serve.submitted").add(5);
+        b.counter("serve.only_on_b").add(1);
+        a.gauge("serve.queue.depth").set(2.0);
+        b.gauge("serve.queue.depth").set(4.0);
+        for v in [100, 100, 100, 100] {
+            a.histogram("serve.latency_us").record(v);
+        }
+        b.histogram("serve.latency_us").record(1_000);
+        let merged = ObsSnapshot::merge(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.counter("serve.submitted"), Some(8));
+        assert_eq!(merged.counter("serve.only_on_b"), Some(1));
+        assert_eq!(merged.gauge("serve.queue.depth"), Some(6.0));
+        let MetricValue::Histogram {
+            count, mean, p99, ..
+        } = merged
+            .samples
+            .iter()
+            .find(|s| s.name == "serve.latency_us")
+            .unwrap()
+            .value
+            .clone()
+        else {
+            panic!("histogram expected");
+        };
+        assert_eq!(count, 5);
+        // Count-weighted mean of the two per-shard means (log-bucketed,
+        // so allow bucket slack), and p99 is the max across shards.
+        let a_mean = 100.0;
+        let b_mean = 1_000.0;
+        let expect = (4.0 * a_mean + b_mean) / 5.0;
+        assert!(
+            (mean as f64) > expect * 0.5 && (mean as f64) < expect * 2.0,
+            "mean {mean} vs {expect}"
+        );
+        // The merge takes the max per-shard p99, and each shard's
+        // estimate carries the histogram's one-log-bucket guarantee —
+        // so the merged p99 lands in the slow shard's bucket, not
+        // necessarily at or above the exact recorded value.
+        assert_eq!(
+            LogHistogram::bucket_of(p99),
+            LogHistogram::bucket_of(1_000),
+            "p99 {p99} must land in the slow shard's bucket"
+        );
+        // Names stay sorted.
+        let names: Vec<&str> = merged.samples.iter().map(|s| s.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use parking_lot::Mutex;
 use zeus_core::query::ActionQuery;
 use zeus_core::result::QueryResult;
 use zeus_core::ExecutorKind;
-use zeus_video::{DataSource, DatasetKind, VideoId};
+use zeus_video::{DataSource, VideoId};
 
 /// Identity of the corpus a server instance serves: the content
 /// fingerprint of its [`DataSource`]. Part of every cache and plan key —
@@ -28,19 +28,6 @@ impl CorpusId {
     /// through a `.zds` file — keeps its identity.
     pub fn of(source: &dyn DataSource) -> Self {
         CorpusId(source.fingerprint())
-    }
-
-    /// Legacy constructor for `DatasetKind`-generated corpora: computes
-    /// the *content* fingerprint by regenerating the corpus from its
-    /// parameters (generation is deterministic and cheap — annotations
-    /// only), so the result equals `CorpusId::of` of the same corpus and
-    /// keys the same plans and cache entries as the new API.
-    #[deprecated(
-        since = "0.1.0",
-        note = "corpus identity is now the DataSource content fingerprint; use `CorpusId::of`"
-    )]
-    pub fn new(kind: DatasetKind, scale: f64, seed: u64) -> Self {
-        CorpusId::of(&kind.generate(scale, seed))
     }
 }
 
@@ -200,7 +187,7 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zeus_video::ActionClass;
+    use zeus_video::{ActionClass, DatasetKind};
 
     fn key(target_pct: u32) -> CacheKey {
         CacheKey::new(

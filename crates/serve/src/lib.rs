@@ -40,6 +40,8 @@
 //! * [`pool`] — the work-stealing worker pool over
 //!   [`zeus_core::parallel::DevicePool`] devices.
 //! * [`cache`] — the LRU result cache.
+//! * [`quota`] — per-tenant token-bucket quotas with fair-share load
+//!   shedding (the multi-tenant contract the fleet router enforces).
 //! * [`metrics`] — p50/p95/p99 latency, throughput, shed/hit counters.
 //! * [`request`] — typed requests and streamed responses.
 //! * [`server`] — [`ZeusServer`], tying it together.
@@ -60,6 +62,7 @@ pub mod cache;
 pub mod metrics;
 pub mod plans;
 pub mod pool;
+pub mod quota;
 pub mod refine;
 pub mod request;
 pub mod server;
@@ -69,6 +72,7 @@ pub use admission::{AdmissionQueue, AdmitError};
 pub use cache::{CacheKey, CachedExecution, CorpusId, ResultCache};
 pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use plans::PlanStore;
+pub use quota::{Decision, FairShareGate, QuotaSpec, TenantId, TenantStats};
 pub use refine::{compute_exclude_spans, ExcludeSpans, QueryRefiner, SegmentHit};
 pub use request::{Priority, QueryId, QueryOutcome, ResponseEvent, ResponseStream};
 pub use server::{priority_for_budget, servable, ServeConfig, ServeError, ZeusServer};

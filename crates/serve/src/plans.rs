@@ -177,6 +177,21 @@ impl PlanStore {
     pub fn resident(&self) -> usize {
         self.mem.read().len()
     }
+
+    /// Every memory-resident plan for one corpus. This is the
+    /// replication export: a fleet router pushes these entries into
+    /// sibling shards' stores (via [`PlanStore::install_stored`]) when a
+    /// corpus runs hot, so failover and resharding never retrain.
+    pub fn plans_for(&self, corpus: CorpusId) -> Vec<Arc<StoredPlan>> {
+        let mem = self.mem.read();
+        let mut plans: Vec<_> = mem
+            .iter()
+            .filter(|((c, _, _), _)| *c == corpus)
+            .map(|(_, plan)| Arc::clone(plan))
+            .collect();
+        plans.sort_by(|a, b| PlanCatalog::key(&a.query).cmp(&PlanCatalog::key(&b.query)));
+        plans
+    }
 }
 
 #[cfg(test)]

@@ -163,7 +163,7 @@ pub(crate) struct PoolShared {
     /// In-flight queries by cache key, for submission coalescing.
     pub(crate) inflight: Mutex<HashMap<CacheKey, Arc<ActiveQuery>>>,
     pub(crate) devices: Vec<Mutex<SimDevice>>,
-    pub(crate) cache: ResultCache,
+    pub(crate) cache: Arc<ResultCache>,
     pub(crate) metrics: ServeMetrics,
     /// The server's observability plane (shared registry + tracer).
     pub(crate) obs: ObsHub,

@@ -28,10 +28,11 @@ use zeus_obs::sync::lock_recover;
 use zeus_obs::{ExplainReport, ObsHub, ObsSnapshot, StageClock, Trace};
 
 use crate::admission::{AdmissionQueue, AdmitError};
-use crate::cache::{CacheKey, CorpusId, ResultCache};
+use crate::cache::{CacheKey, CachedExecution, CorpusId, ResultCache};
 use crate::metrics::{MetricsSnapshot, ServeMetrics};
 use crate::plans::PlanStore;
 use crate::pool::{worker_loop, ActiveQuery, PoolShared, Subscriber};
+use crate::quota::{Decision, FairShareGate, TenantId};
 use crate::refine::{compute_exclude_spans, ExcludeSpans, QueryRefiner};
 use crate::request::{Priority, QueryId, QueryOutcome, ResponseEvent, ResponseStream};
 
@@ -77,6 +78,12 @@ pub struct ServeConfig {
     /// engines ([`ExecutorKind::ZeusRl`], [`ExecutorKind::ZeusSliding`])
     /// are servable.
     pub executor: ExecutorKind,
+    /// Optional per-tenant admission gate. When set, tenant-attributed
+    /// submissions ([`ZeusServer::submit_ir_as`]) are quota-checked
+    /// before touching the cache or queue; unattributed submissions
+    /// bypass it. A fleet router usually gates at the router instead and
+    /// leaves this `None` to avoid double charging.
+    pub quota: Option<Arc<FairShareGate>>,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +94,7 @@ impl Default for ServeConfig {
             cache_capacity: 128,
             device: DeviceProfile::default(),
             executor: ExecutorKind::ZeusRl,
+            quota: None,
         }
     }
 }
@@ -155,6 +163,36 @@ impl ZeusServer {
         config: ServeConfig,
         obs: ObsHub,
     ) -> Result<ZeusServer, ServeError> {
+        Self::start_inner(source, name, plans, config, obs, None)
+    }
+
+    /// [`ZeusServer::start_with_obs`] serving out of a caller-shared
+    /// result cache instead of a private one. Result-cache memory is a
+    /// *node* resource: several servers co-located on one node (e.g. one
+    /// per corpus on a fleet shard) share a single LRU budget, so their
+    /// corpora compete for residency exactly as they would for a real
+    /// node's memory. Keys embed the corpus fingerprint, so sharing can
+    /// never alias results across corpora. `config.cache_capacity` is
+    /// ignored — the shared cache's own capacity governs.
+    pub fn start_with_cache(
+        source: &dyn DataSource,
+        name: impl Into<String>,
+        plans: impl Into<Arc<PlanStore>>,
+        config: ServeConfig,
+        obs: ObsHub,
+        cache: Arc<ResultCache>,
+    ) -> Result<ZeusServer, ServeError> {
+        Self::start_inner(source, name, plans, config, obs, Some(cache))
+    }
+
+    fn start_inner(
+        source: &dyn DataSource,
+        name: impl Into<String>,
+        plans: impl Into<Arc<PlanStore>>,
+        config: ServeConfig,
+        obs: ObsHub,
+        cache: Option<Arc<ResultCache>>,
+    ) -> Result<ZeusServer, ServeError> {
         // Normalize the served name so it can actually match parsed
         // `FROM` operands (the parser lowercases every routing name).
         let name = zeus_video::source::normalize_name(&name.into())
@@ -167,7 +205,7 @@ impl ZeusServer {
                 "queue capacity must be positive".into(),
             ));
         }
-        if config.cache_capacity == 0 {
+        if cache.is_none() && config.cache_capacity == 0 {
             return Err(ServeError::InvalidConfig(
                 "cache capacity must be positive".into(),
             ));
@@ -193,7 +231,7 @@ impl ZeusServer {
             board: Mutex::new(Vec::new()),
             inflight: Mutex::new(std::collections::HashMap::new()),
             devices: pool.into_devices().into_iter().map(Mutex::new).collect(),
-            cache: ResultCache::new(config.cache_capacity),
+            cache: cache.unwrap_or_else(|| Arc::new(ResultCache::new(config.cache_capacity))),
             metrics: ServeMetrics::with_registry(&obs.metrics),
             obs: obs.clone(),
             videos,
@@ -270,6 +308,30 @@ impl ZeusServer {
         priority: Option<Priority>,
     ) -> Result<ResponseStream, AdmitError> {
         self.submit_ir_staged(ir, priority, None, None)
+    }
+
+    /// [`ZeusServer::submit_ir`] attributed to a tenant. When the server
+    /// carries a [`FairShareGate`] (see [`ServeConfig::quota`]), the
+    /// request is quota-checked first — an over-quota tenant is shed
+    /// with [`AdmitError::QuotaExceeded`] before the submission touches
+    /// the cache, plan store, or admission queue. The gate's structural
+    /// invariant means an in-quota tenant is never shed here; only the
+    /// bounded queue itself can still reject it.
+    pub fn submit_ir_as(
+        &self,
+        ir: &QueryIr,
+        tenant: &TenantId,
+        priority: Option<Priority>,
+    ) -> Result<ResponseStream, AdmitError> {
+        if let Some(gate) = &self.config.quota {
+            if let Decision::Shed { .. } = gate.admit(tenant, self.pressure()) {
+                self.obs.metrics.counter("serve.admit.quota_shed").inc();
+                return Err(AdmitError::QuotaExceeded {
+                    tenant: tenant.clone(),
+                });
+            }
+        }
+        self.submit_ir(ir, priority)
     }
 
     fn submit_ir_staged(
@@ -406,7 +468,9 @@ impl ZeusServer {
                     }
                     // The query finalized between our cache miss and now;
                     // finalize publishes to the cache before closing, so
-                    // this lookup cannot miss.
+                    // the re-check below normally hits (unless a shared
+                    // node cache already evicted it again, in which case
+                    // we fall through and execute afresh).
                     Err(returned) => subscriber = returned,
                 }
             }
@@ -439,17 +503,28 @@ impl ZeusServer {
         enum Admitted {
             Queued,
             Coalesced,
-            Finalized(Subscriber),
+            Replayed(Arc<CachedExecution>, Subscriber),
             Rejected(AdmitError),
         }
         stages.enter("admission");
-        let admitted = {
+        let mut engine = Some(engine);
+        // Loops only on a rare double race: the in-flight query we tried
+        // to join finalized under our feet AND its published result was
+        // already evicted (possible under a shared node cache's memory
+        // pressure) — then this submission must execute for itself.
+        let admitted = loop {
             let mut inflight = lock_recover(&self.shared.inflight);
             if let Some(existing) = inflight.get(&cache_key) {
                 subscriber.coalesced = true;
                 match existing.subscribe(subscriber) {
-                    Ok(()) => Admitted::Coalesced,
-                    Err(returned) => Admitted::Finalized(returned),
+                    Ok(()) => break Admitted::Coalesced,
+                    Err(returned) => {
+                        drop(inflight);
+                        match self.shared.cache.get(&cache_key) {
+                            Some(cached) => break Admitted::Replayed(cached, returned),
+                            None => subscriber = returned,
+                        }
+                    }
                 }
             } else {
                 subscriber.coalesced = false;
@@ -457,7 +532,7 @@ impl ZeusServer {
                     query.clone(),
                     executor,
                     stored.protocol,
-                    engine,
+                    engine.take().expect("the push branch runs at most once"),
                     cache_key.clone(),
                     subscriber,
                     self.shared.videos.len(),
@@ -465,9 +540,9 @@ impl ZeusServer {
                 match self.shared.queue.try_push(Arc::clone(&task), priority) {
                     Ok(_depth) => {
                         inflight.insert(cache_key.clone(), task);
-                        Admitted::Queued
+                        break Admitted::Queued;
                     }
-                    Err(e) => Admitted::Rejected(e),
+                    Err(e) => break Admitted::Rejected(e),
                 }
             }
         };
@@ -477,15 +552,7 @@ impl ZeusServer {
                 self.shared.metrics.on_admit();
                 Ok(attach_trace(ResponseStream::new(id, rx), &sampled))
             }
-            Admitted::Finalized(returned) => {
-                // The in-flight query finalized under our feet; finalize
-                // publishes to the result cache before closing, so this
-                // lookup is guaranteed to hit.
-                let cached = self
-                    .shared
-                    .cache
-                    .get(&cache_key)
-                    .expect("finalized query must be cached before closing");
+            Admitted::Replayed(cached, returned) => {
                 self.replay_cached(&query, executor, &returned, &cached);
                 Ok(attach_trace(ResponseStream::new(id, rx), &sampled))
             }
@@ -576,6 +643,12 @@ impl ZeusServer {
     /// Current admission-queue depth.
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.depth()
+    }
+
+    /// Queue fill fraction in `[0, 1]` — the pressure signal the quota
+    /// gate and the fleet router's shed policy consume.
+    pub fn pressure(&self) -> f64 {
+        self.shared.queue.depth() as f64 / self.config.queue_capacity as f64
     }
 
     /// Result-cache `(hits, misses)`.

@@ -23,6 +23,8 @@
 //! * [`core`] — the Zeus query planner, executor, baselines, and metrics.
 //! * [`serve`] — the concurrent query-serving subsystem (admission
 //!   control, device-pool scheduling, result caching).
+//! * [`fleet`] — the sharded multi-tenant serving fleet (rendezvous
+//!   routing, per-tenant quotas, hot plan replication).
 //! * [`obs`] — the observability plane (metrics registry, span tracer,
 //!   `EXPLAIN ANALYZE` reports).
 
@@ -30,6 +32,7 @@
 pub use zeus_apfg as apfg;
 pub use zeus_api as api;
 pub use zeus_core as core;
+pub use zeus_fleet as fleet;
 pub use zeus_nn as nn;
 pub use zeus_obs as obs;
 pub use zeus_rl as rl;
@@ -49,6 +52,7 @@ pub mod prelude {
     pub use zeus_core::metrics::EvalReport;
     pub use zeus_core::planner::{PlannerOptions, QueryPlanner};
     pub use zeus_core::query::ActionQuery;
+    pub use zeus_fleet::{FleetConfig, FleetRouter, QuotaSpec, TenantId};
     pub use zeus_obs::{ExplainReport, MetricsRegistry, ObsHub, ObsSnapshot, Tracer};
     pub use zeus_serve::{CorpusId, PlanStore, Priority, ServeConfig, WorkloadSpec, ZeusServer};
     pub use zeus_video::datasets::{ConfigFamily, DatasetKind, DatasetProfile, SyntheticDataset};
