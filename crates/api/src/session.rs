@@ -22,6 +22,7 @@ use zeus_core::query::{parse_zql, ActionQuery, QueryIr};
 use zeus_core::result::{ConfigHistogram, QueryResult};
 use zeus_core::ExecutorKind;
 use zeus_fleet::{FleetConfig, FleetRouter};
+use zeus_obs::sync::{lock_recover, read_recover, write_recover};
 use zeus_obs::{ExplainReport, ObsHub, ObsSnapshot, StageClock, Tracer};
 use zeus_serve::quota::TenantId;
 use zeus_serve::{CorpusId, PlanStore, QueryRefiner, SegmentHit, ServeConfig, ZeusServer};
@@ -589,9 +590,7 @@ impl ZeusSession {
 
     /// The full plan trained this session, if any.
     fn cached_plan(&self, source: &SessionSource, base: &ActionQuery) -> Option<Arc<QueryPlan>> {
-        self.plan_cache
-            .read()
-            .expect("plan cache")
+        read_recover(&self.plan_cache)
             .get(&plan_key(source.corpus, base))
             .cloned()
     }
@@ -614,24 +613,21 @@ impl ZeusSession {
         // concurrent callers for the same core wait on its guard and
         // then hit the cache, so training really is paid once.
         let guard = {
-            let mut locks = self.plan_locks.lock().expect("plan locks");
+            let mut locks = lock_recover(&self.plan_locks);
             Arc::clone(
                 locks
                     .entry(plan_key(source.corpus, base))
                     .or_insert_with(|| Arc::new(Mutex::new(()))),
             )
         };
-        let _training = guard.lock().expect("training guard");
+        let _training = lock_recover(&guard);
         if let Some(plan) = self.cached_plan(source, base) {
             return Ok(plan);
         }
         let plan = Arc::new(self.planner(source).try_plan(base)?);
         self.plans
             .install(source.corpus, &plan, self.options.seed)?;
-        self.plan_cache
-            .write()
-            .expect("plan cache")
-            .insert(plan_key(source.corpus, base), Arc::clone(&plan));
+        write_recover(&self.plan_cache).insert(plan_key(source.corpus, base), Arc::clone(&plan));
         Ok(plan)
     }
 
@@ -645,16 +641,13 @@ impl ZeusSession {
         stored: &StoredPlan,
     ) -> Arc<Vec<ConfigProfile>> {
         let key = plan_key(source.corpus, base);
-        if let Some(profiles) = self.profile_cache.read().expect("profile cache").get(&key) {
+        if let Some(profiles) = read_recover(&self.profile_cache).get(&key) {
             return Arc::clone(profiles);
         }
         let planner = self.planner(source);
         let space = ConfigSpace::for_family(source.source.family()).masked(self.options.knob_mask);
         let profiles = Arc::new(planner.profile_configurations(base, &space, &stored.apfg()));
-        self.profile_cache
-            .write()
-            .expect("profile cache")
-            .insert(key, Arc::clone(&profiles));
+        write_recover(&self.profile_cache).insert(key, Arc::clone(&profiles));
         profiles
     }
 

@@ -5,6 +5,8 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
+use zeus_obs::keys;
+
 use zeus_apfg::frame_pp::FramePpModel;
 use zeus_apfg::segment_pp::SegmentPpFilter;
 use zeus_apfg::{Configuration, FeatureCache, SimulatedApfg};
@@ -578,9 +580,11 @@ impl<'a> QueryPlanner<'a> {
         if let (Some(hub), Some(cache)) = (&self.obs, proto.cache()) {
             // The feature cache keeps its own atomic tallies; fold them
             // into the shared namespace once per planning run.
-            hub.metrics.counter("cache.feature.hit").add(cache.hits());
             hub.metrics
-                .counter("cache.feature.miss")
+                .counter(keys::CACHE_FEATURE_HIT)
+                .add(cache.hits());
+            hub.metrics
+                .counter(keys::CACHE_FEATURE_MISS)
                 .add(cache.misses());
         }
 

@@ -34,6 +34,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use zeus_obs::keys;
+use zeus_obs::sync::lock_recover;
+
 use zeus_apfg::{FeatureCache, SimulatedApfg};
 use zeus_rl::agent::{DqnAgent, DqnConfig, GreedyPolicy};
 use zeus_rl::{
@@ -246,8 +249,9 @@ impl TrainingEngine {
         );
         let mut trainer = DqnTrainer::new(agent, job.trainer.clone());
         let candidate_started = self.obs.as_ref().map(|hub| {
-            hub.metrics.counter("train.candidates").inc();
+            hub.metrics.counter(keys::TRAIN_CANDIDATES).inc();
             trainer.set_obs(hub.train_obs());
+            // zeus-lint: allow(wallclock): telemetry measures real training wall time
             std::time::Instant::now()
         });
         let envs: Vec<Box<dyn Environment + Send>> = (0..self.options.vec_envs)
@@ -304,7 +308,7 @@ impl TrainingEngine {
                         let secs = rl_training_secs(cost, &out.report, job.trainer.batch_size);
                         device.clock_mut().advance(SimDuration::from_secs(secs));
                     }
-                    *results[i].lock().expect("result slot") = Some(outcome);
+                    *lock_recover(&results[i]) = Some(outcome);
                 });
             }
         })
@@ -322,7 +326,7 @@ impl TrainingEngine {
         if let Some(hub) = &self.obs {
             for (i, busy) in device_busy_secs.iter().enumerate() {
                 hub.metrics
-                    .gauge(&format!("train.device.{i}.busy_secs"))
+                    .gauge(&keys::train_device_busy_secs(i))
                     .set(*busy);
             }
         }
@@ -415,6 +419,7 @@ pub fn bench_training(
     );
     let mut trainer = DqnTrainer::new(agent, job.trainer.clone());
     let mut env = proto.fork(job.env_seed);
+    // zeus-lint: allow(wallclock): the benchmark's whole point is wall time
     let start = Instant::now();
     let serial_report = trainer.train(&mut env)?;
     let wall = start.elapsed().as_secs_f64();
@@ -451,6 +456,7 @@ pub fn bench_training(
             train_workers: 1,
             vec_envs: n,
         });
+        // zeus-lint: allow(wallclock): the benchmark's whole point is wall time
         let start = Instant::now();
         let outcome = engine.train_candidate(&run_proto, job)?;
         let wall = start.elapsed().as_secs_f64();

@@ -8,6 +8,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use zeus_core::catalog::StoredPlan;
 use zeus_core::query::QueryIr;
+use zeus_obs::keys;
 use zeus_obs::{Counter, ObsHub, ObsSnapshot};
 use zeus_serve::quota::{Decision, FairShareGate, QuotaSpec, TenantId};
 use zeus_serve::{
@@ -150,7 +151,7 @@ impl Shard {
         }
         self.obs
             .metrics
-            .gauge("serve.queue.depth")
+            .gauge(keys::SERVE_QUEUE_DEPTH)
             .set(depth as f64);
         self.obs.metrics.snapshot()
     }
@@ -335,16 +336,16 @@ impl FleetRouter {
         }
 
         let shard_routed = (0..config.shards)
-            .map(|i| obs.metrics.counter(&format!("fleet.shard.{i}.routed")))
+            .map(|i| obs.metrics.counter(&keys::fleet_shard_routed(i)))
             .collect();
         Ok(FleetRouter {
-            routed: obs.metrics.counter("fleet.routed"),
+            routed: obs.metrics.counter(keys::FLEET_ROUTED),
             shard_routed,
-            replica_hits: obs.metrics.counter("fleet.plan.replica_hits"),
-            replicated_plans: obs.metrics.counter("fleet.plan.replicated"),
-            failover: obs.metrics.counter("fleet.failover"),
-            shed_over: obs.metrics.counter("fleet.shed.over_quota"),
-            shed_under: obs.metrics.counter("fleet.shed.under_quota"),
+            replica_hits: obs.metrics.counter(keys::FLEET_PLAN_REPLICA_HITS),
+            replicated_plans: obs.metrics.counter(keys::FLEET_PLAN_REPLICATED),
+            failover: obs.metrics.counter(keys::FLEET_FAILOVER),
+            shed_over: obs.metrics.counter(keys::FLEET_SHED_OVER_QUOTA),
+            shed_under: obs.metrics.counter(keys::FLEET_SHED_UNDER_QUOTA),
             shards,
             routes,
             by_name,

@@ -1,0 +1,7 @@
+// Fixture: a metric key minted ad hoc, outside the documented
+// namespaces and absent from the zeus_obs::keys registry.
+// zeus-lint-test: expect ZL-O001 @ 6
+
+pub fn record(metrics: &zeus_obs::Registry) {
+    metrics.counter("router.requests_total").inc();
+}

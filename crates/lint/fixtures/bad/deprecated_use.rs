@@ -1,0 +1,11 @@
+// Fixture: calling an item the workspace has marked #[deprecated].
+// zeus-lint-test: expect ZL-O002 @ 10
+
+#[deprecated(note = "use submit_batch instead")]
+pub fn submit_one(frame: u64) -> u64 {
+    frame
+}
+
+pub fn caller() -> u64 {
+    submit_one(7)
+}

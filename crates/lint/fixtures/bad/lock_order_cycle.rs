@@ -1,0 +1,26 @@
+// Fixture: two functions acquire the same pair of mutexes in opposite
+// orders — a classic static deadlock hazard. Uses the recover helpers
+// so only the lock-order analysis (not ZL-C001) fires.
+// zeus-lint-test: expect ZL-C003 @ 17
+
+use std::sync::Mutex;
+use zeus_obs::sync::lock_recover;
+
+pub struct Pair {
+    alpha: Mutex<u8>,
+    beta: Mutex<u8>,
+}
+
+impl Pair {
+    pub fn alpha_then_beta(&self) -> u8 {
+        let a = lock_recover(&self.alpha);
+        let b = lock_recover(&self.beta);
+        *a + *b
+    }
+
+    pub fn beta_then_alpha(&self) -> u8 {
+        let b = lock_recover(&self.beta);
+        let a = lock_recover(&self.alpha);
+        *b - *a
+    }
+}

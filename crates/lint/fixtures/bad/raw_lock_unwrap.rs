@@ -1,0 +1,9 @@
+// Fixture: a raw mutex acquisition that panics on poison.
+// zeus-lint-test: expect ZL-C001 @ 8
+
+use std::sync::Mutex;
+
+pub fn drain(queue: &Mutex<Vec<u64>>) -> Vec<u64> {
+    // A panicking holder poisons the mutex; this then panics forever.
+    queue.lock().unwrap().drain(..).collect()
+}

@@ -1,0 +1,8 @@
+// Fixture: a raw RwLock read with an expect message.
+// zeus-lint-test: expect ZL-C001 @ 7
+
+use std::sync::RwLock;
+
+pub fn peek(cache: &RwLock<Vec<u64>>) -> usize {
+    cache.read().expect("profile cache").len()
+}

@@ -1,0 +1,7 @@
+// Fixture: an entropy-seeded RNG — two runs of the same plan diverge.
+// zeus-lint-test: expect ZL-D002 @ 5
+
+pub fn jitter_ms() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen_range(0..10)
+}

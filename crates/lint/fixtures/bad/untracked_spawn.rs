@@ -1,0 +1,9 @@
+// Fixture: a fire-and-forget thread whose JoinHandle is dropped, so a
+// panic in it is never observed and shutdown cannot wait for it.
+// zeus-lint-test: expect ZL-C002 @ 6
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| background_work());
+}
+
+fn background_work() {}

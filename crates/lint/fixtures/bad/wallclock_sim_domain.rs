@@ -1,0 +1,8 @@
+// Fixture: a wall-clock read inside a SimClock determinism domain.
+// The directive below is how a file outside sim/rl opts in.
+// zeus-lint: domain(simclock)
+// zeus-lint-test: expect ZL-D001 @ 7
+
+pub fn step_deadline() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,19 @@
+// Clean fixture: poison-recovering lock helpers and a joined thread.
+// zeus-lint must report zero findings here. Note the consistent lock
+// order (cache before m) — reversing it in another function would trip
+// the lock-order analysis.
+
+use std::sync::{Mutex, RwLock};
+use zeus_obs::sync::{lock_recover, read_recover, write_recover};
+
+pub fn tidy(m: &Mutex<u8>, cache: &RwLock<Vec<u8>>) -> u8 {
+    let handle = std::thread::spawn(|| ());
+    write_recover(cache).push(1);
+    let v = *lock_recover(m);
+    handle.join().ok();
+    v
+}
+
+pub fn snapshot(cache: &RwLock<Vec<u8>>) -> usize {
+    read_recover(cache).len()
+}

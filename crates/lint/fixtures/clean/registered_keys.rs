@@ -1,0 +1,13 @@
+// Clean fixture: metric keys via zeus_obs::keys constants, a
+// registered literal, and a format! template matching a registered
+// pattern.
+
+pub fn observe(metrics: &zeus_obs::Registry) {
+    metrics.counter(zeus_obs::keys::SERVE_SUBMITTED).inc();
+    metrics.counter("cache.result.hit").inc();
+    for device in 0..2 {
+        metrics
+            .gauge(&format!("pool.device.{device}.busy_secs"))
+            .set(0.0);
+    }
+}

@@ -1,0 +1,8 @@
+// Clean fixture: a finding suppressed with an allow directive plus a
+// justification — the reviewed escape hatch.
+// zeus-lint: domain(simclock)
+
+pub fn throughput_anchor() -> std::time::Instant {
+    // zeus-lint: allow(wallclock): measures real elapsed time for a benchmark report
+    std::time::Instant::now()
+}

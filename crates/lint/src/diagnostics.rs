@@ -1,0 +1,258 @@
+//! Rule identities, severities, diagnostics, and the JSON report.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Every rule `zeus-lint` ships, with a stable id and allow-name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Rule {
+    /// `ZL-C001`: raw `.lock()/.read()/.write()` + `.unwrap()/.expect()`
+    /// outside `zeus_obs::sync` — a panicked holder wedges the lock.
+    RawLockUnwrap,
+    /// `ZL-C002`: `std::thread::spawn` whose `JoinHandle` is dropped.
+    UntrackedSpawn,
+    /// `ZL-C003`: a cycle in the static lock-acquisition order graph.
+    LockOrderCycle,
+    /// `ZL-D001`: `Instant::now()` / `SystemTime::now()` in a SimClock
+    /// domain (`sim`, `rl`, `core::training`, or `domain(simclock)`
+    /// files), where wall-clock reads break serial/parallel equivalence.
+    Wallclock,
+    /// `ZL-D002`: `rand::thread_rng` / `from_entropy` — entropy-seeded
+    /// RNG that makes runs unreproducible.
+    UnseededRng,
+    /// `ZL-O001`: a string-literal metric key not in
+    /// `zeus_obs::keys` (or outside the documented namespaces).
+    MetricKey,
+    /// `ZL-O002`: use of an item the workspace marks `#[deprecated]`.
+    DeprecatedItem,
+}
+
+/// All rules, in catalog order.
+pub const ALL_RULES: [Rule; 7] = [
+    Rule::RawLockUnwrap,
+    Rule::UntrackedSpawn,
+    Rule::LockOrderCycle,
+    Rule::Wallclock,
+    Rule::UnseededRng,
+    Rule::MetricKey,
+    Rule::DeprecatedItem,
+];
+
+/// How bad a finding is by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Fails the build only under `--deny-warnings`.
+    Warning,
+    /// Always fails the build.
+    Error,
+}
+
+impl Rule {
+    /// Stable catalog id (`ZL-C001`, ...).
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::RawLockUnwrap => "ZL-C001",
+            Rule::UntrackedSpawn => "ZL-C002",
+            Rule::LockOrderCycle => "ZL-C003",
+            Rule::Wallclock => "ZL-D001",
+            Rule::UnseededRng => "ZL-D002",
+            Rule::MetricKey => "ZL-O001",
+            Rule::DeprecatedItem => "ZL-O002",
+        }
+    }
+
+    /// The name used in `// zeus-lint: allow(<name>)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::RawLockUnwrap => "raw-lock-unwrap",
+            Rule::UntrackedSpawn => "untracked-spawn",
+            Rule::LockOrderCycle => "lock-order-cycle",
+            Rule::Wallclock => "wallclock",
+            Rule::UnseededRng => "unseeded-rng",
+            Rule::MetricKey => "metric-key",
+            Rule::DeprecatedItem => "deprecated-item",
+        }
+    }
+
+    /// Default severity. Concurrency and determinism findings are
+    /// errors (they break invariants the proptests rely on);
+    /// observability findings are warnings promoted by
+    /// `--deny-warnings` — which CI passes.
+    pub fn severity(self) -> Severity {
+        match self {
+            Rule::RawLockUnwrap
+            | Rule::UntrackedSpawn
+            | Rule::LockOrderCycle
+            | Rule::Wallclock
+            | Rule::UnseededRng => Severity::Error,
+            Rule::MetricKey | Rule::DeprecatedItem => Severity::Warning,
+        }
+    }
+
+    /// Look a rule up by its allow-name or catalog id.
+    pub fn by_name(name: &str) -> Option<Rule> {
+        ALL_RULES
+            .into_iter()
+            .find(|r| r.name() == name || r.code() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.code(), self.name())
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Path relative to the scanned root.
+    pub file: PathBuf,
+    /// 1-based line of the finding.
+    pub line: u32,
+    /// Human-readable explanation, including the fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let severity = match self.rule.severity() {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(
+            f,
+            "{severity}[{}]: {}:{}: {}",
+            self.rule,
+            self.file.display(),
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// The result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Findings, sorted by (file, line, rule).
+    pub findings: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Findings at [`Severity::Error`].
+    pub fn errors(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|d| d.rule.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Findings at [`Severity::Warning`].
+    pub fn warnings(&self) -> usize {
+        self.findings.len() - self.errors()
+    }
+
+    /// Should this run fail the build?
+    pub fn failed(&self, deny_warnings: bool) -> bool {
+        self.errors() > 0 || (deny_warnings && !self.findings.is_empty())
+    }
+
+    /// Machine-readable report (the CI artifact).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"tool\": \"zeus-lint\",\n");
+        out.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"errors\": {},\n  \"warnings\": {},\n  \"findings\": [\n",
+            self.files_scanned,
+            self.errors(),
+            self.warnings()
+        ));
+        let rows: Vec<String> = self
+            .findings
+            .iter()
+            .map(|d| {
+                format!(
+                    "    {{\"code\": \"{}\", \"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                    d.rule.code(),
+                    d.rule.name(),
+                    match d.rule.severity() {
+                        Severity::Error => "error",
+                        Severity::Warning => "warning",
+                    },
+                    zeus_obs::json_escape(&d.file.display().to_string()),
+                    d.line,
+                    zeus_obs::json_escape(&d.message)
+                )
+            })
+            .collect();
+        out.push_str(&rows.join(",\n"));
+        if !rows.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_and_codes_round_trip() {
+        for rule in ALL_RULES {
+            assert_eq!(Rule::by_name(rule.name()), Some(rule));
+            assert_eq!(Rule::by_name(rule.code()), Some(rule));
+        }
+        assert_eq!(Rule::by_name("no-such-rule"), None);
+    }
+
+    #[test]
+    fn report_failure_matrix() {
+        let warn = Diagnostic {
+            rule: Rule::MetricKey,
+            file: PathBuf::from("a.rs"),
+            line: 1,
+            message: "m".into(),
+        };
+        let err = Diagnostic {
+            rule: Rule::RawLockUnwrap,
+            file: PathBuf::from("a.rs"),
+            line: 2,
+            message: "m".into(),
+        };
+        let clean = LintReport::default();
+        assert!(!clean.failed(true));
+        let warned = LintReport {
+            findings: vec![warn],
+            files_scanned: 1,
+        };
+        assert!(!warned.failed(false));
+        assert!(warned.failed(true));
+        let errored = LintReport {
+            findings: vec![err],
+            files_scanned: 1,
+        };
+        assert!(errored.failed(false));
+    }
+
+    #[test]
+    fn json_report_is_parseable_shape() {
+        let report = LintReport {
+            findings: vec![Diagnostic {
+                rule: Rule::MetricKey,
+                file: PathBuf::from("x \"y\".rs"),
+                line: 3,
+                message: "quote \" in message".into(),
+            }],
+            files_scanned: 2,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"files_scanned\": 2"));
+        assert!(json.contains("ZL-O001"));
+        assert!(json.contains("\\\""));
+    }
+}

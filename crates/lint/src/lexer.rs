@@ -1,0 +1,402 @@
+//! A hand-rolled, panic-free lexer for Rust source.
+//!
+//! The analyzers need just enough structure to be robust against
+//! formatting: a token stream with line numbers, where comments are
+//! stripped (but `zeus-lint:` directives inside them are kept) and
+//! string/char literal *bodies* can never be mistaken for code. This is
+//! deliberately not a full Rust lexer — no float/suffix fidelity, no
+//! nested-generic disambiguation — because the rules only match short
+//! token sequences like `. lock ( ) . unwrap (`.
+//!
+//! Invariant (property-tested): `lex` never panics, on any input
+//! whatsoever. It scans a `Vec<char>` by index, so arbitrary bytes
+//! (lossily decoded), unterminated literals, and stray delimiters all
+//! fall out as best-effort token streams rather than errors.
+
+/// One lexical token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Line number (1-based) of the token's first character.
+    pub line: u32,
+    /// What was lexed.
+    pub kind: TokenKind,
+}
+
+/// Token kinds, at the granularity the analyzers need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`lock`, `fn`, `_`).
+    Ident(String),
+    /// A string literal's *contents* (escapes left as written), from
+    /// `"..."`, `r"..."`, `r#"..."#`, `b"..."`, or `br#"..."#`.
+    Str(String),
+    /// A character or byte literal (`'a'`, `b'\n'`); contents dropped.
+    Char,
+    /// A lifetime (`'a`); name dropped.
+    Lifetime,
+    /// A numeric literal; digits dropped.
+    Num,
+    /// Any other single character of punctuation (`.`, `:`, `(`, ...).
+    Punct(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A `// zeus-lint: ...` directive found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Line number (1-based) of the comment.
+    pub line: u32,
+    /// True when the comment is the only thing on its line, in which
+    /// case the directive also covers the *next* line.
+    pub own_line: bool,
+    /// Directive body after `zeus-lint:`, e.g. `allow(raw-lock-unwrap)`.
+    pub body: String,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct LexFile {
+    /// The token stream, comments and whitespace removed.
+    pub tokens: Vec<Token>,
+    /// All `zeus-lint:` directives, in source order.
+    pub directives: Vec<Directive>,
+}
+
+const DIRECTIVE_TAG: &str = "zeus-lint:";
+
+/// Lex `src` into tokens plus lint directives. Never panics.
+pub fn lex(src: &str) -> LexFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexFile::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Tracks whether anything other than whitespace appeared on the
+    // current line before the position at hand (for `own_line` comments).
+    let mut line_has_code = false;
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                line_has_code = false;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                push_directive(&mut out, &text, line, !line_has_code);
+                i = j;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Nested block comment; collect its text for directives.
+                let own = !line_has_code;
+                let comment_line = line;
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                let mut text = String::new();
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && chars.get(j + 1) == Some(&'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && chars.get(j + 1) == Some(&'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if chars[j] == '\n' {
+                            line += 1;
+                        }
+                        text.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                push_directive(&mut out, &text, comment_line, own);
+                i = j;
+            }
+            '"' => {
+                let (value, next, newlines) = scan_string(&chars, i + 1, 0);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Str(value),
+                });
+                line += newlines;
+                line_has_code = true;
+                i = next;
+            }
+            'r' | 'b' if raw_or_byte_string(&chars, i).is_some() => {
+                // r"..", r#".."#, b"..", br"..", br#".."# (and rb).
+                let (hashes, body_start) = raw_or_byte_string(&chars, i).unwrap_or((0, i + 1));
+                let (value, next, newlines) = scan_string(&chars, body_start, hashes);
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Str(value),
+                });
+                line += newlines;
+                line_has_code = true;
+                i = next;
+            }
+            '\'' => {
+                // Char literal vs lifetime.
+                let (kind, next) = scan_quote(&chars, i);
+                out.tokens.push(Token { line, kind });
+                line_has_code = true;
+                i = next;
+            }
+            c if c == '_' || c.is_alphabetic() => {
+                let mut j = i;
+                while j < chars.len() && (chars[j] == '_' || chars[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                let ident: String = chars[i..j].iter().collect();
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Ident(ident),
+                });
+                line_has_code = true;
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < chars.len()
+                    && (chars[j] == '_'
+                        || chars[j] == '.' && chars.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                        || chars[j].is_alphanumeric())
+                {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Num,
+                });
+                line_has_code = true;
+                i = j;
+            }
+            c => {
+                out.tokens.push(Token {
+                    line,
+                    kind: TokenKind::Punct(c),
+                });
+                line_has_code = true;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// If `chars[i]` starts a raw/byte string prefix (`r`, `b`, `rb`, `br`
+/// followed by `#*"`), return `(hash_count, body_start_index)`.
+fn raw_or_byte_string(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    for _ in 0..2 {
+        match chars.get(j) {
+            Some('r') | Some('b') => j += 1,
+            _ => break,
+        }
+    }
+    if j == i {
+        return None;
+    }
+    let mut hashes = 0usize;
+    while chars.get(j + hashes) == Some(&'#') {
+        hashes += 1;
+    }
+    if chars.get(j + hashes) == Some(&'"') {
+        Some((hashes, j + hashes + 1))
+    } else {
+        None
+    }
+}
+
+/// Scan a string body starting at `start` (just past the opening quote)
+/// with `hashes` raw-string hashes. Returns (contents, index past the
+/// closing delimiter, newlines consumed). Unterminated strings run to
+/// end of input.
+fn scan_string(chars: &[char], start: usize, hashes: usize) -> (String, usize, u32) {
+    let mut value = String::new();
+    let mut newlines = 0u32;
+    let mut j = start;
+    while j < chars.len() {
+        if chars[j] == '\\' && hashes == 0 {
+            // Escape in a cooked string: keep both chars verbatim.
+            value.push('\\');
+            if let Some(&next) = chars.get(j + 1) {
+                value.push(next);
+                if next == '\n' {
+                    newlines += 1;
+                }
+            }
+            j += 2;
+            continue;
+        }
+        if chars[j] == '"' {
+            // In a raw string the quote only closes with its hashes.
+            let closed = (0..hashes).all(|k| chars.get(j + 1 + k) == Some(&'#'));
+            if closed {
+                return (value, j + 1 + hashes, newlines);
+            }
+        }
+        if chars[j] == '\n' {
+            newlines += 1;
+        }
+        value.push(chars[j]);
+        j += 1;
+    }
+    (value, j, newlines)
+}
+
+/// Scan from a `'`: a char literal (`'x'`, `'\n'`) or a lifetime (`'a`).
+fn scan_quote(chars: &[char], i: usize) -> (TokenKind, usize) {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char literal; find the closing quote.
+            let mut j = i + 2;
+            while j < chars.len() && chars[j] != '\'' && chars[j] != '\n' {
+                j += 1;
+            }
+            (TokenKind::Char, (j + 1).min(chars.len()))
+        }
+        Some(&c) if c == '_' || c.is_alphanumeric() => {
+            if chars.get(i + 2) == Some(&'\'') {
+                (TokenKind::Char, i + 3)
+            } else {
+                // Lifetime: consume the identifier.
+                let mut j = i + 1;
+                while j < chars.len() && (chars[j] == '_' || chars[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                (TokenKind::Lifetime, j)
+            }
+        }
+        Some(&c) => {
+            // Punctuation char literal like '(' — or a stray quote.
+            if chars.get(i + 2) == Some(&'\'') && c != '\'' {
+                (TokenKind::Char, i + 3)
+            } else {
+                (TokenKind::Punct('\''), i + 1)
+            }
+        }
+        None => (TokenKind::Punct('\''), i + 1),
+    }
+}
+
+/// Record a `zeus-lint:` directive if the comment text carries one.
+fn push_directive(out: &mut LexFile, text: &str, line: u32, own_line: bool) {
+    let trimmed = text.trim_start_matches(['/', '!']).trim();
+    if let Some(rest) = trimmed.strip_prefix(DIRECTIVE_TAG) {
+        out.directives.push(Directive {
+            line,
+            own_line,
+            body: rest.trim().to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_code() {
+        let src = r#"
+            // a .lock().unwrap() in a comment
+            /* and /* nested */ .read().unwrap() */
+            let s = "call .write().unwrap() here";
+            real_ident();
+        "#;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        let strings: Vec<_> = lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| matches!(t.kind, TokenKind::Str(_)))
+            .collect();
+        assert_eq!(strings.len(), 1);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let file = lex(r##"let x = r#"a "quoted" b"#; let y = r"z";"##);
+        let strs: Vec<String> = file
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec![r#"a "quoted" b"#.to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let file = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = file
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = file
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let file = lex("let a = \"x\ny\";\nfinal_line();");
+        let last = file.tokens.last().unwrap();
+        assert_eq!(last.line, 3);
+    }
+
+    #[test]
+    fn directives_are_collected_with_own_line_flag() {
+        let src = "// zeus-lint: allow(raw-lock-unwrap)\nlet x = 1; // zeus-lint: allow(wallclock): reason\n";
+        let file = lex(src);
+        assert_eq!(file.directives.len(), 2);
+        assert!(file.directives[0].own_line);
+        assert_eq!(file.directives[0].body, "allow(raw-lock-unwrap)");
+        assert!(!file.directives[1].own_line);
+        assert!(file.directives[1].body.starts_with("allow(wallclock)"));
+    }
+
+    #[test]
+    fn unterminated_everything_is_survivable() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed",
+            "'",
+            "b'",
+            "r#",
+            "let x = '\\",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

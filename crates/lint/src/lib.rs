@@ -1,0 +1,179 @@
+//! `zeus-lint` — workspace static analysis for Zeus.
+//!
+//! A dependency-free pass over the workspace's Rust sources enforcing
+//! three invariant families the type system cannot:
+//!
+//! - **Concurrency** — no raw `.lock().unwrap()` outside
+//!   [`zeus_obs::sync`] (`ZL-C001`), no dropped `JoinHandle`s
+//!   (`ZL-C002`), no cycles in the static lock-order graph (`ZL-C003`).
+//! - **Determinism** — no wall-clock reads in SimClock domains
+//!   (`ZL-D001`), no entropy-seeded RNGs (`ZL-D002`).
+//! - **Observability** — metric-key literals must be registered in
+//!   [`zeus_obs::keys`] (`ZL-O001`), no uses of `#[deprecated]`
+//!   workspace items (`ZL-O002`).
+//!
+//! Everything is built on a hand-rolled, panic-free [`lexer`] (no
+//! `syn`; the environment is offline), so rules match token sequences
+//! rather than formatted lines and never fire inside strings or
+//! comments. Findings can be suppressed at a site with
+//! `// zeus-lint: allow(<rule-name>): <reason>` on the same line or the
+//! line above, and a file can opt into the SimClock determinism domain
+//! with `// zeus-lint: domain(simclock)`.
+//!
+//! Entry points: [`lint_workspace`] (scan the standard source roots) or
+//! [`lint_paths`] (scan explicit files/directories); both return a
+//! [`LintReport`] with sorted [`Diagnostic`]s and a JSON serializer for
+//! the CI artifact. The `zeus lint` CLI subcommand wraps these.
+
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+
+pub use diagnostics::{Diagnostic, LintReport, Rule, Severity, ALL_RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use rules::{FileContext, LockGraph};
+
+/// Directories under the workspace root that `lint_workspace` scans.
+/// `crates/shims/**` (vendored API shims) and `crates/lint/fixtures/**`
+/// (known-bad corpus) are deliberately absent.
+const WORKSPACE_ROOTS: [&str; 3] = ["src", "tests", "examples"];
+
+/// Per-crate subdirectories scanned under `crates/<name>/`.
+const CRATE_ROOTS: [&str; 4] = ["src", "tests", "examples", "benches"];
+
+/// Lint the standard workspace source roots under `root` (the directory
+/// holding the top-level `Cargo.toml`): `src/`, `tests/`, `examples/`,
+/// and `src/`, `tests/`, `examples/`, `benches/` of every crate in
+/// `crates/` except `crates/shims`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for dir in WORKSPACE_ROOTS {
+        collect_rs(&root.join(dir), &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut names: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect();
+        names.sort();
+        for krate in names {
+            if krate.file_name().is_some_and(|n| n == "shims") {
+                continue;
+            }
+            for dir in CRATE_ROOTS {
+                collect_rs(&krate.join(dir), &mut files)?;
+            }
+        }
+    }
+    lint_files(root, files)
+}
+
+/// Lint explicit `paths` (files or directories, absolute or relative to
+/// `root`). Directories are walked recursively for `.rs` files. Unlike
+/// [`lint_workspace`], no path is exempt from *scanning* here — pointing
+/// the linter at the fixture corpus is how the CI negative test works.
+pub fn lint_paths(root: &Path, paths: &[PathBuf]) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    for p in paths {
+        let abs = if p.is_absolute() {
+            p.clone()
+        } else {
+            root.join(p)
+        };
+        if abs.is_dir() {
+            collect_rs(&abs, &mut files)?;
+        } else if abs.is_file() {
+            files.push(abs);
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file or directory: {}", p.display()),
+            ));
+        }
+    }
+    lint_files(root, files)
+}
+
+/// Recursively collect `.rs` files under `dir` (missing dirs are fine).
+fn collect_rs(dir: &Path, into: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, into)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            into.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lex every file, run the two-pass analysis, and assemble the report.
+fn lint_files(root: &Path, files: Vec<PathBuf>) -> io::Result<LintReport> {
+    let mut contexts = Vec::with_capacity(files.len());
+    for abs in &files {
+        let src = fs::read_to_string(abs)?;
+        let rel = abs.strip_prefix(root).unwrap_or(abs).to_path_buf();
+        contexts.push(FileContext::new(rel, lexer::lex(&src)));
+    }
+
+    // Pass 1: cross-file state.
+    let mut deprecated = Vec::new();
+    let mut lock_graph = LockGraph::default();
+    for ctx in &contexts {
+        rules::collect_deprecated(ctx, &mut deprecated);
+        rules::collect_lock_orders(ctx, &mut lock_graph);
+    }
+
+    // Pass 2: per-file rules.
+    let mut findings = Vec::new();
+    for ctx in &contexts {
+        rules::raw_lock_unwrap(ctx, &mut findings);
+        rules::untracked_spawn(ctx, &mut findings);
+        rules::wallclock(ctx, &mut findings);
+        rules::unseeded_rng(ctx, &mut findings);
+        rules::metric_key(ctx, &mut findings);
+        rules::deprecated_use(ctx, &deprecated, &mut findings);
+    }
+    lock_graph.cycles(&mut findings);
+
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(LintReport {
+        findings,
+        files_scanned: contexts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names_derive_from_paths() {
+        assert_eq!(rules::crate_of(Path::new("crates/serve/src/a.rs")), "serve");
+        assert_eq!(rules::crate_of(Path::new("src/bin/zeus.rs")), "zeus");
+        assert_eq!(rules::crate_of(Path::new("tests/e2e.rs")), "zeus");
+    }
+
+    #[test]
+    fn lint_paths_rejects_missing_targets() {
+        let err = lint_paths(Path::new("/"), &[PathBuf::from("definitely/not/here.rs")]);
+        assert!(err.is_err());
+    }
+}

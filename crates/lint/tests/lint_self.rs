@@ -1,0 +1,161 @@
+//! Self-tests for `zeus-lint`.
+//!
+//! Three layers: (1) every known-bad fixture produces *exactly* its
+//! golden diagnostic (rule id, file, line, nothing else); (2) the clean
+//! fixtures and the real workspace produce zero findings — the linter
+//! dogfoods the tree it ships in; (3) the lexer never panics on
+//! arbitrary bytes, property-tested.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+use zeus_lint::{lint_paths, lint_workspace};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn fixture_files(kind: &str) -> Vec<PathBuf> {
+    let dir = workspace_root().join("crates/lint/fixtures").join(kind);
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("read {}: {e}", dir.display()))
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Parse the `zeus-lint-test: expect <CODE> @ <line>` marker a bad
+/// fixture carries.
+fn expectation(text: &str) -> (String, u32) {
+    let marker = text
+        .lines()
+        .find_map(|l| l.split("zeus-lint-test: expect ").nth(1))
+        .expect("bad fixture carries an expectation marker");
+    let (code, line) = marker.split_once(" @ ").expect("marker shape");
+    (
+        code.trim().to_string(),
+        line.trim().parse().expect("line number"),
+    )
+}
+
+#[test]
+fn bad_fixtures_each_produce_exactly_their_golden_diagnostic() {
+    let root = workspace_root();
+    let files = fixture_files("bad");
+    assert_eq!(files.len(), 8, "the bad corpus covers all seven rules");
+    for file in files {
+        let (code, line) = expectation(&fs::read_to_string(&file).expect("read fixture"));
+        let report = lint_paths(&root, std::slice::from_ref(&file)).expect("lint fixture");
+        assert_eq!(
+            report.findings.len(),
+            1,
+            "{} must yield exactly one finding, got {:#?}",
+            file.display(),
+            report.findings
+        );
+        let d = &report.findings[0];
+        assert_eq!(d.rule.code(), code, "{}: wrong rule: {d}", file.display());
+        assert_eq!(d.line, line, "{}: wrong line: {d}", file.display());
+        assert!(
+            d.file.ends_with(file.file_name().expect("file name")),
+            "diagnostic path {} should be workspace-relative",
+            d.file.display()
+        );
+        assert!(
+            report.failed(true),
+            "{}: must fail under deny",
+            file.display()
+        );
+    }
+}
+
+#[test]
+fn bad_corpus_as_a_whole_fails_without_deny_warnings() {
+    let root = workspace_root();
+    let report =
+        lint_paths(&root, &[PathBuf::from("crates/lint/fixtures/bad")]).expect("lint bad corpus");
+    assert_eq!(report.files_scanned, 8);
+    assert_eq!(report.findings.len(), 8);
+    assert!(
+        report.failed(false),
+        "error-severity rules must fail the run even without --deny-warnings"
+    );
+    let json = report.to_json();
+    assert!(json.contains("\"errors\""));
+    assert!(json.contains("ZL-C003"));
+}
+
+#[test]
+fn clean_fixtures_have_zero_findings() {
+    let root = workspace_root();
+    let report = lint_paths(&root, &[PathBuf::from("crates/lint/fixtures/clean")])
+        .expect("lint clean corpus");
+    assert_eq!(report.files_scanned, 3);
+    assert!(
+        report.findings.is_empty(),
+        "clean fixtures must be clean, got {:#?}",
+        report.findings
+    );
+    assert!(!report.failed(true));
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = workspace_root();
+    let report = lint_workspace(&root).expect("lint workspace");
+    assert!(
+        report.files_scanned > 40,
+        "workspace walk looks truncated: {} files",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must dogfood its own linter, got {:#?}",
+        report.findings
+    );
+}
+
+proptest! {
+    #[test]
+    fn lexer_never_panics_on_arbitrary_bytes(
+        words in prop::collection::vec(any::<u32>(), 0..64)
+    ) {
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let lexed = zeus_lint::lexer::lex(&text);
+        // Sanity bound: no token inflation beyond one per char.
+        prop_assert!(lexed.tokens.len() <= text.chars().count() + 1);
+    }
+
+    #[test]
+    fn lexer_never_panics_on_truncated_rust(
+        cut in 0usize..400,
+        seed in any::<u32>()
+    ) {
+        let sample = concat!(
+            "//! doc\n/* nested /* block */ still */\n",
+            "fn f<'a>(x: &'a str) -> char {\n",
+            "    let s = r#\"raw \" string\"#;\n",
+            "    let b = b\"bytes\\\"\";\n",
+            "    metrics.counter(\"serve.submitted\").inc();\n",
+            "    'x'\n}\n"
+        );
+        // Truncate at an arbitrary char boundary, optionally flipping
+        // the tail to stress unterminated-literal recovery.
+        let chars: Vec<char> = sample.chars().collect();
+        let at = cut.min(chars.len());
+        let mut text: String = chars[..at].iter().collect();
+        if seed % 2 == 0 {
+            text.push('"');
+        }
+        let lexed = zeus_lint::lexer::lex(&text);
+        prop_assert!(lexed.tokens.len() <= text.chars().count() + 1);
+    }
+}

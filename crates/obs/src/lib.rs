@@ -21,6 +21,9 @@
 //!   their sum equals the measured latency by construction.
 //! * [`sync`] — poison-recovering lock helpers, so a panicked worker
 //!   can never wedge telemetry.
+//! * [`keys`] — the central metric-key registry every plane registers
+//!   handles through; `zeus lint` rejects string-literal keys that are
+//!   not in it.
 //!
 //! Everything here is `std`-only, allocation-light on the hot path
 //! (atomic bumps for counters and histogram records), and safe to leave
@@ -31,6 +34,7 @@
 
 pub mod explain;
 pub mod histogram;
+pub mod keys;
 pub mod registry;
 pub mod sync;
 pub mod trace;
@@ -77,9 +81,9 @@ impl ObsHub {
     /// [`DqnTrainer`]: https://docs.rs/zeus-rl
     pub fn train_obs(&self) -> TrainObs {
         TrainObs {
-            episodes: self.metrics.counter("train.episodes"),
-            steps: self.metrics.counter("train.steps"),
-            updates: self.metrics.counter("train.updates"),
+            episodes: self.metrics.counter(keys::TRAIN_EPISODES),
+            steps: self.metrics.counter(keys::TRAIN_STEPS),
+            updates: self.metrics.counter(keys::TRAIN_UPDATES),
             tracer: self.tracer.clone(),
         }
     }

@@ -7,7 +7,10 @@
 //! partially-updated state a panic leaves behind is still safe to read
 //! and extend — recovery is simply taking the guard.
 
-use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+use std::time::Duration;
 
 /// Lock a mutex, recovering the guard if a previous holder panicked.
 pub fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -24,6 +27,25 @@ pub fn read_recover<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
 /// Write-lock an `RwLock`, recovering from poison.
 pub fn write_recover<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     lock.write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Block on a condvar, recovering the re-acquired guard if the mutex
+/// was poisoned while this thread slept.
+pub fn wait_recover<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar
+        .wait(guard)
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Block on a condvar with a timeout, recovering from poison.
+pub fn wait_timeout_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    condvar
+        .wait_timeout(guard, timeout)
         .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -45,6 +67,22 @@ mod tests {
         assert_eq!(*lock_recover(&m), 7);
         *lock_recover(&m) += 1;
         assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_recovers_on_a_poisoned_mutex() {
+        let m = Arc::new(Mutex::new(0u32));
+        let cv = Condvar::new();
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        let guard = lock_recover(&m);
+        let (guard, timed_out) = wait_timeout_recover(&cv, guard, Duration::from_millis(1));
+        assert!(timed_out.timed_out());
+        assert_eq!(*guard, 0);
     }
 
     #[test]

@@ -463,6 +463,7 @@ impl DqnTrainer {
                     .global_step
                     .is_multiple_of(self.cfg.update_every as u64)
             {
+                // zeus-lint: allow(wallclock): stage tracing wants real elapsed time
                 let update_start = self.obs.as_ref().map(|_| Instant::now());
                 let loss = self.update_once()?;
                 if let Some(started) = update_start {

@@ -15,6 +15,8 @@
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
 
+use zeus_obs::sync::{lock_recover, wait_recover, wait_timeout_recover};
+
 use crate::request::Priority;
 
 /// Why a submission was not admitted.
@@ -128,12 +130,12 @@ impl<T> AdmissionQueue<T> {
 
     /// Items currently queued across all classes.
     pub fn depth(&self) -> usize {
-        self.inner.lock().unwrap().len
+        lock_recover(&self.inner).len
     }
 
     /// Try to admit `item`; returns the post-admission depth, or sheds.
     pub fn try_push(&self, item: T, priority: Priority) -> Result<usize, AdmitError> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if inner.closed {
             return Err(AdmitError::ShuttingDown);
         }
@@ -154,7 +156,7 @@ impl<T> AdmissionQueue<T> {
     /// queue is empty. Returns `None` once the queue is closed *and*
     /// drained.
     pub fn pop_blocking(&self) -> Option<(T, Priority)> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         loop {
             if inner.len > 0 {
                 return Some(Self::pop_scheduled(&mut inner));
@@ -162,13 +164,13 @@ impl<T> AdmissionQueue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).unwrap();
+            inner = wait_recover(&self.available, inner);
         }
     }
 
     /// Non-blocking pop (used by idle workers probing between steals).
     pub fn try_pop(&self) -> Option<(T, Priority)> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if inner.len == 0 {
             return None;
         }
@@ -178,9 +180,9 @@ impl<T> AdmissionQueue<T> {
     /// Pop with a bounded wait, so idle workers can alternate between the
     /// queue and the work-stealing board without missing either.
     pub fn pop_timeout(&self, timeout: std::time::Duration) -> PopTimeout<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = lock_recover(&self.inner);
         if inner.len == 0 && !inner.closed {
-            let (guard, _) = self.available.wait_timeout(inner, timeout).unwrap();
+            let (guard, _) = wait_timeout_recover(&self.available, inner, timeout);
             inner = guard;
         }
         if inner.len > 0 {
@@ -211,7 +213,7 @@ impl<T> AdmissionQueue<T> {
     /// Close the queue: pending items still drain, new pushes are refused,
     /// and blocked poppers wake up.
     pub fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        lock_recover(&self.inner).closed = true;
         self.available.notify_all();
     }
 }

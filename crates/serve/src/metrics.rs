@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use zeus_obs::keys;
 use zeus_obs::sync::lock_recover;
 use zeus_obs::{Counter, Histogram, MetricsRegistry};
 
@@ -60,16 +61,16 @@ impl ServeMetrics {
     /// [`ObsHub`](zeus_obs::ObsHub) namespace).
     pub fn with_registry(registry: &MetricsRegistry) -> Self {
         ServeMetrics {
-            submitted: registry.counter("serve.submitted"),
-            admitted: registry.counter("serve.admitted"),
-            shed: registry.counter("serve.admit.shed"),
-            rejected_no_plan: registry.counter("serve.admit.no_plan"),
-            completed: registry.counter("serve.completed"),
-            cache_hits: registry.counter("cache.result.hit"),
-            cache_misses: registry.counter("cache.result.miss"),
-            coalesced: registry.counter("serve.coalesced"),
-            frames: registry.counter("serve.frames"),
-            latency: registry.histogram("serve.latency_us"),
+            submitted: registry.counter(keys::SERVE_SUBMITTED),
+            admitted: registry.counter(keys::SERVE_ADMITTED),
+            shed: registry.counter(keys::SERVE_ADMIT_SHED),
+            rejected_no_plan: registry.counter(keys::SERVE_ADMIT_NO_PLAN),
+            completed: registry.counter(keys::SERVE_COMPLETED),
+            cache_hits: registry.counter(keys::CACHE_RESULT_HIT),
+            cache_misses: registry.counter(keys::CACHE_RESULT_MISS),
+            coalesced: registry.counter(keys::SERVE_COALESCED),
+            frames: registry.counter(keys::SERVE_FRAMES),
+            latency: registry.histogram(keys::SERVE_LATENCY_US),
             device_us: AtomicU64::new(0),
             window: Mutex::new((None, None)),
         }
@@ -360,9 +361,9 @@ mod tests {
         m.on_shed();
         m.on_cache_hit(Duration::from_micros(10));
         let snap = registry.snapshot();
-        assert_eq!(snap.counter("serve.submitted"), Some(1));
-        assert_eq!(snap.counter("serve.admit.shed"), Some(1));
-        assert_eq!(snap.counter("cache.result.hit"), Some(1));
+        assert_eq!(snap.counter(keys::SERVE_SUBMITTED), Some(1));
+        assert_eq!(snap.counter(keys::SERVE_ADMIT_SHED), Some(1));
+        assert_eq!(snap.counter(keys::CACHE_RESULT_HIT), Some(1));
     }
 
     #[test]

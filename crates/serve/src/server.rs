@@ -24,6 +24,7 @@ use zeus_video::video::Split;
 use zeus_video::DataSource;
 
 use zeus_core::query::QueryIr;
+use zeus_obs::keys;
 use zeus_obs::sync::lock_recover;
 use zeus_obs::{ExplainReport, ObsHub, ObsSnapshot, StageClock, Trace};
 
@@ -325,7 +326,7 @@ impl ZeusServer {
     ) -> Result<ResponseStream, AdmitError> {
         if let Some(gate) = &self.config.quota {
             if let Decision::Shed { .. } = gate.admit(tenant, self.pressure()) {
-                self.obs.metrics.counter("serve.admit.quota_shed").inc();
+                self.obs.metrics.counter(keys::SERVE_ADMIT_QUOTA_SHED).inc();
                 return Err(AdmitError::QuotaExceeded {
                     tenant: tenant.clone(),
                 });
@@ -680,16 +681,16 @@ impl ZeusServer {
     pub fn snapshot(&self) -> ObsSnapshot {
         self.obs
             .metrics
-            .gauge("serve.queue.depth")
+            .gauge(keys::SERVE_QUEUE_DEPTH)
             .set(self.shared.queue.depth() as f64);
         self.obs
             .metrics
-            .gauge("serve.device_secs")
+            .gauge(keys::SERVE_DEVICE_SECS)
             .set(self.shared.metrics.device_secs());
         for (i, busy) in self.shared.device_busy_secs().iter().enumerate() {
             self.obs
                 .metrics
-                .gauge(&format!("pool.device.{i}.busy_secs"))
+                .gauge(&keys::pool_device_busy_secs(i))
                 .set(*busy);
         }
         self.obs.metrics.snapshot()

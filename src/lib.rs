@@ -26,13 +26,16 @@
 //! * [`fleet`] — the sharded multi-tenant serving fleet (rendezvous
 //!   routing, per-tenant quotas, hot plan replication).
 //! * [`obs`] — the observability plane (metrics registry, span tracer,
-//!   `EXPLAIN ANALYZE` reports).
+//!   `EXPLAIN ANALYZE` reports, the central metric-key registry).
+//! * [`lint`] — workspace static analysis (`zeus lint`): concurrency,
+//!   determinism, and observability invariants, CI-gated.
 
 #![warn(missing_docs)]
 pub use zeus_apfg as apfg;
 pub use zeus_api as api;
 pub use zeus_core as core;
 pub use zeus_fleet as fleet;
+pub use zeus_lint as lint;
 pub use zeus_nn as nn;
 pub use zeus_obs as obs;
 pub use zeus_rl as rl;
